@@ -1,0 +1,134 @@
+package mpr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The facade must expose a coherent end-to-end workflow: profile → cost
+// model → bids → market → settlement.
+func TestPublicAPIMarketFlow(t *testing.T) {
+	prof, err := ProfileByName("XSBench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewCostModel(prof, 1, CostLinear)
+	parts := []*Participant{{
+		JobID:        "j1",
+		Cores:        16,
+		Bid:          CooperativeBid(16, model),
+		WattsPerCore: DefaultCPUCoreModel.DynamicW,
+		MaxFrac:      prof.MaxReduction(),
+	}}
+	res, err := Clear(parts, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.SuppliedW < 500-1e-6 {
+		t.Errorf("clearing result = %+v", res)
+	}
+	ss, err := Settle(parts, res.Reductions, res.Price)
+	if err != nil || len(ss) != 1 {
+		t.Fatalf("settle: %v, %d", err, len(ss))
+	}
+}
+
+func TestPublicAPITraceRoundTrip(t *testing.T) {
+	tr, err := GenerateTrace(TraceConfig{
+		Name: "api", Seed: 1, TotalCores: 64, Days: 2,
+		JobCount: 100, MeanUtil: 0.6, MaxJobFrac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSWF(&buf, "api")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != len(tr.Jobs) {
+		t.Errorf("round trip lost jobs: %d vs %d", len(back.Jobs), len(tr.Jobs))
+	}
+	if cdf := UtilizationCDF(tr, 60); cdf.Len() == 0 {
+		t.Error("empty utilization CDF")
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	tr, err := GenerateTrace(TraceConfig{
+		Name: "api-sim", Seed: 2, TotalCores: 128, Days: 3,
+		JobCount: 400, MeanUtil: 0.72, MaxJobFrac: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSim(SimConfig{Trace: tr, OversubPct: 15, Algorithm: AlgMPRStat, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsCompleted != res.JobsTotal {
+		t.Errorf("incomplete: %d/%d", res.JobsCompleted, res.JobsTotal)
+	}
+}
+
+func TestPublicAPIProfiles(t *testing.T) {
+	if len(CPUProfiles()) != 8 || len(GPUProfiles()) != 6 || len(AllProfiles()) != 14 {
+		t.Error("profile counts wrong through the facade")
+	}
+	if len(TracePresets(1)) != 4 {
+		t.Error("trace presets wrong through the facade")
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 17 {
+		t.Fatalf("only %d experiments exposed", len(ids))
+	}
+	res, err := RunExperiment("f2", ExperimentOptions{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 || !strings.Contains(res.Tables[0].String(), "price") {
+		t.Error("f2 experiment output malformed")
+	}
+	if _, err := RunExperiment("bogus", ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestPublicAPICluster(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Seed: 1, UseMPR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(120)
+	if got := c.Result(); got.PowerSeries.Len() != 120 {
+		t.Errorf("power series = %d samples", got.PowerSeries.Len())
+	}
+	if pts, err := FreqSweep(DefaultApps(), 4); err != nil || len(pts) != 16 {
+		t.Errorf("freq sweep: %v, %d points", err, len(pts))
+	}
+}
+
+func TestPublicAPIInfrastructure(t *testing.T) {
+	inf, err := NewUniformInfrastructure(10000, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf.SpreadLoad(12000)
+	if _, over := inf.Evaluate(); len(over) == 0 {
+		t.Error("overload not detected through the facade")
+	}
+	ec, err := NewEmergencyController(EmergencyConfig{CapacityW: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ec.Step(1100, 1100); !d.Declare {
+		t.Error("controller facade broken")
+	}
+}

@@ -1,0 +1,199 @@
+package mpr
+
+// Benchmark harness: one benchmark per table and figure of the paper
+// (plus the DESIGN.md ablations and micro-benchmarks of the market hot
+// path). Each experiment benchmark regenerates its table/figure via the
+// shared experiment harness in quick mode; run
+//
+//	go test -bench=. -benchmem
+//
+// for timings, and `go run ./cmd/mprbench -exp all` to print the actual
+// rows/series (recorded in EXPERIMENTS.md). Set MPR_BENCH_PRINT=1 to also
+// print each experiment's tables from the benchmark run.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"mpr/internal/core"
+	"mpr/internal/experiments"
+	"mpr/internal/perf"
+)
+
+var benchPrint = os.Getenv("MPR_BENCH_PRINT") == "1"
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Options{Seed: 1, Quick: true}
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if benchPrint && i == 0 {
+			for _, tbl := range res.Tables {
+				fmt.Println(tbl.String())
+			}
+		}
+	}
+}
+
+// --- Paper tables and figures -------------------------------------------
+
+func BenchmarkTable1_Oversubscription(b *testing.B)  { benchExperiment(b, "t1") }
+func BenchmarkFig1b_UtilizationCDF(b *testing.B)     { benchExperiment(b, "f1b") }
+func BenchmarkFig2_SupplyFunction(b *testing.B)      { benchExperiment(b, "f2") }
+func BenchmarkFig3_XSBenchCost(b *testing.B)         { benchExperiment(b, "f3") }
+func BenchmarkFig4_BiddingStrategies(b *testing.B)   { benchExperiment(b, "f4") }
+func BenchmarkFig6_GaiaAllocation(b *testing.B)      { benchExperiment(b, "f6") }
+func BenchmarkFig7_AppProfiles(b *testing.B)         { benchExperiment(b, "f7") }
+func BenchmarkFig8_OversubImpact(b *testing.B)       { benchExperiment(b, "f8") }
+func BenchmarkFig9_BenchmarkComparison(b *testing.B) { benchExperiment(b, "f9") }
+func BenchmarkFig10_Scalability(b *testing.B)        { benchExperiment(b, "f10") }
+func BenchmarkFig11_MarketPerformance(b *testing.B)  { benchExperiment(b, "f11") }
+func BenchmarkFig12_Participation(b *testing.B)      { benchExperiment(b, "f12") }
+func BenchmarkFig13_ModelError(b *testing.B)         { benchExperiment(b, "f13") }
+func BenchmarkFig14_OtherTraces(b *testing.B)        { benchExperiment(b, "f14") }
+func BenchmarkFig15_GPUCluster(b *testing.B)         { benchExperiment(b, "f15") }
+func BenchmarkFig16_PrototypeDVFS(b *testing.B)      { benchExperiment(b, "f16") }
+func BenchmarkFig17_PrototypeMPR(b *testing.B)       { benchExperiment(b, "f17") }
+
+// --- Design ablations (DESIGN.md §4) -------------------------------------
+
+func BenchmarkAblation_MClrSolvers(b *testing.B)   { benchExperiment(b, "a1") }
+func BenchmarkAblation_CostShape(b *testing.B)     { benchExperiment(b, "a2") }
+func BenchmarkAblation_BidStrategies(b *testing.B) { benchExperiment(b, "a3") }
+func BenchmarkAblation_Hysteresis(b *testing.B)    { benchExperiment(b, "a4") }
+func BenchmarkAblation_Predictive(b *testing.B)    { benchExperiment(b, "a5") }
+func BenchmarkAblation_VCGAuction(b *testing.B)    { benchExperiment(b, "a6") }
+func BenchmarkExtension_CarbonDR(b *testing.B)     { benchExperiment(b, "x1") }
+func BenchmarkStudy_MarketCollusion(b *testing.B)  { benchExperiment(b, "x2") }
+func BenchmarkStudy_PowerAttack(b *testing.B)      { benchExperiment(b, "x3") }
+func BenchmarkStudy_Partitioned(b *testing.B)      { benchExperiment(b, "x4") }
+func BenchmarkStudy_TCO(b *testing.B)              { benchExperiment(b, "x5") }
+func BenchmarkStudy_PriorityCapping(b *testing.B)  { benchExperiment(b, "x6") }
+func BenchmarkStudy_PowerPhases(b *testing.B)      { benchExperiment(b, "x7") }
+
+// --- Market hot-path micro-benchmarks ------------------------------------
+
+func benchPool(b *testing.B, n int) ([]*core.Participant, []core.Bidder, float64) {
+	b.Helper()
+	profiles := perf.CPUProfiles()
+	parts := make([]*core.Participant, n)
+	bidders := make([]core.Bidder, n)
+	var maxW float64
+	for i := 0; i < n; i++ {
+		prof := profiles[i%len(profiles)]
+		model := perf.NewCostModel(prof, 1, perf.CostLinear)
+		cores := float64(8)
+		parts[i] = &core.Participant{
+			JobID:        fmt.Sprintf("j%d", i),
+			Cores:        cores,
+			Bid:          core.CooperativeBid(cores, model),
+			WattsPerCore: 125,
+			MaxFrac:      prof.MaxReduction(),
+			Cost:         func(d float64) float64 { return cores * model.Cost(d/cores) },
+			MarginalCost: func(d float64) float64 { return model.Marginal(d / cores) },
+		}
+		bidders[i] = &core.RationalBidder{Cores: cores, Model: model}
+	}
+	for _, p := range parts {
+		maxW += p.WattsPerCore * p.Bid.Delta
+	}
+	return parts, bidders, 0.4 * maxW
+}
+
+func benchClear(b *testing.B, n int) {
+	parts, _, target := benchPool(b, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Clear(parts, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MPR-STAT clearing time vs pool size — the Fig. 10(a) hot path.
+func BenchmarkMarketClear100(b *testing.B)   { benchClear(b, 100) }
+func BenchmarkMarketClear1000(b *testing.B)  { benchClear(b, 1000) }
+func BenchmarkMarketClear10000(b *testing.B) { benchClear(b, 10000) }
+func BenchmarkMarketClear30000(b *testing.B) { benchClear(b, 30000) }
+
+func BenchmarkMarketInteractive1000(b *testing.B) {
+	parts, bidders, target := benchPool(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ClearInteractive(parts, bidders, target, core.InteractiveConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOPTDual1000(b *testing.B) {
+	parts, _, target := benchPool(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveOPT(parts, target, core.OPTDual); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOPTGeneric1000(b *testing.B) {
+	parts, _, target := benchPool(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveOPT(parts, target, core.OPTGeneric); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEQL1000(b *testing.B) {
+	parts, _, target := benchPool(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveEQL(parts, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSupplyFunction(b *testing.B) {
+	bid := core.Bid{Delta: 0.7, B: 0.14}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += bid.Supply(0.5)
+	}
+	_ = sink
+}
+
+func BenchmarkCooperativeBid(b *testing.B) {
+	prof, err := perf.ProfileByName("XSBench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := perf.NewCostModel(prof, 1, perf.CostLinear)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.CooperativeBid(16, model)
+	}
+}
+
+func BenchmarkRationalBid(b *testing.B) {
+	prof, err := perf.ProfileByName("XSBench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := perf.NewCostModel(prof, 1, perf.CostLinear)
+	rb := &core.RationalBidder{Cores: 16, Model: model}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.RespondBid(0.5)
+	}
+}

@@ -1,0 +1,83 @@
+// Command mprbench regenerates the MPR paper's tables and figures.
+//
+// Usage:
+//
+//	mprbench -exp all            # every table/figure + ablations
+//	mprbench -exp f8,f9          # specific experiments
+//	mprbench -exp t1 -quick=false -seed 7
+//
+// Experiment IDs follow the paper: t1 (Table I), f1b, f2, f3, f4, f6, f7,
+// f8, f9, f10, f11, f12, f13, f14, f15, f16, f17, and the repository
+// ablations a1..a4. See DESIGN.md for the per-experiment index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mpr/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		seed   = flag.Int64("seed", 1, "random seed")
+		quick  = flag.Bool("quick", true, "run reduced-scale experiments (full scale reproduces the paper's horizons but takes much longer)")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		format = flag.String("format", "text", "output format: text or markdown")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *exp == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "markdown":
+			fmt.Printf("### %s — %s\n\n", res.ID, e.Title)
+			for _, tbl := range res.Tables {
+				fmt.Println(tbl.Markdown())
+			}
+			for _, n := range res.Notes {
+				fmt.Printf("*Note: %s.*\n\n", n)
+			}
+		default:
+			fmt.Printf("### %s — %s  (%.1fs)\n\n", res.ID, e.Title, time.Since(start).Seconds())
+			for _, tbl := range res.Tables {
+				fmt.Println(tbl.String())
+			}
+			for _, n := range res.Notes {
+				fmt.Printf("note: %s\n", n)
+			}
+			fmt.Println()
+		}
+	}
+}

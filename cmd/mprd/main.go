@@ -1,0 +1,99 @@
+// Command mprd is the MPR market manager daemon: it accepts user bidding
+// agents over TCP (see cmd/mpragent) and clears interactive power-
+// reduction markets.
+//
+// Usage:
+//
+//	mprd -listen 127.0.0.1:7946 -agents 4 -target 2000
+//
+// waits for 4 agents, clears one market for a 2 kW reduction, prints the
+// reduction orders, lifts the emergency, and exits. With -target 0 the
+// daemon keeps running and reads reduction targets (watts, one per line)
+// from stdin, clearing one market per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mpr/internal/agentproto"
+	"mpr/internal/stats"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7946", "TCP listen address")
+		agents = flag.Int("agents", 1, "number of agents to wait for")
+		target = flag.Float64("target", 0, "one-shot power reduction target in watts (0 = interactive stdin mode)")
+		wait   = flag.Duration("wait", 30*time.Second, "how long to wait for agents")
+	)
+	flag.Parse()
+
+	m, err := agentproto.NewManager(*listen, agentproto.ManagerConfig{
+		Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	log.Printf("mprd listening on %s, waiting for %d agents", m.Addr(), *agents)
+
+	deadline := time.Now().Add(*wait)
+	for m.AgentCount() < *agents {
+		if time.Now().After(deadline) {
+			log.Fatalf("only %d of %d agents connected within %s", m.AgentCount(), *agents, *wait)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	log.Printf("%d agents registered", m.AgentCount())
+
+	if *target > 0 {
+		runMarket(m, *target)
+		m.Lift()
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("enter power reduction targets in watts, one per line ('lift' to end an emergency, 'quit' to exit):")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "quit":
+			return
+		case line == "lift":
+			m.Lift()
+			log.Printf("emergency lifted")
+		default:
+			w, err := strconv.ParseFloat(line, 64)
+			if err != nil || w <= 0 {
+				log.Printf("need a positive wattage, 'lift', or 'quit'; got %q", line)
+				continue
+			}
+			runMarket(m, w)
+		}
+	}
+}
+
+func runMarket(m *agentproto.Manager, targetW float64) {
+	out, err := m.RunMarket(targetW)
+	if err != nil {
+		log.Printf("market failed: %v", err)
+		return
+	}
+	r := out.Result
+	tbl := stats.NewTable(
+		fmt.Sprintf("Market cleared: price %.4f, %d rounds, converged=%v, supplied %.1f W of %.1f W",
+			r.Price, r.Rounds, r.Converged, r.SuppliedW, targetW),
+		"job", "reduction (cores)", "payment rate")
+	for job, red := range out.Orders {
+		tbl.AddRow(job, red, r.Price*red)
+	}
+	fmt.Println(tbl.String())
+}

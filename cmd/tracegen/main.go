@@ -1,0 +1,58 @@
+// Command tracegen emits synthetic HPC workload traces in Standard
+// Workload Format, calibrated to the clusters of the MPR paper.
+//
+// Usage:
+//
+//	tracegen -preset gaia -days 92 > gaia.swf
+//	tracegen -preset ricc -days 30 -seed 7 -out ricc.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mpr/internal/trace"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", "gaia", "workload preset: gaia, pik, ricc, metacentrum")
+		days   = flag.Int("days", 0, "override horizon in days (0 = preset default)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	cfg, ok := trace.Presets(*seed)[*preset]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown preset %q (have gaia, pik, ricc, metacentrum)\n", *preset)
+		os.Exit(2)
+	}
+	if *days > 0 {
+		cfg = cfg.WithDays(*days)
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteSWF(w, tr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d jobs (%d cores, %d days, peak %d)\n",
+		len(tr.Jobs), tr.TotalCores, cfg.Days, tr.PeakAllocation())
+}

@@ -1,0 +1,74 @@
+// Heterogeneous GPU cluster: MPR on a system with diverse
+// resource-performance relations (the Fig. 15 scenario).
+//
+// Jobs run six GPU applications whose throughput responds very
+// differently to power capping — Jacobi and TeaLeaf collapse, GEMM barely
+// notices. The example simulates 15% oversubscription with each
+// algorithm and shows why performance-oblivious uniform slowdown (EQL)
+// is a bad idea on heterogeneous hardware.
+//
+// Run with: go run ./examples/gpucluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"mpr"
+)
+
+func main() {
+	tr, err := mpr.GenerateTrace(mpr.TraceConfig{
+		Name: "gpu-cluster", Seed: 3, TotalCores: 512, Days: 14,
+		JobCount: 4000, MeanUtil: 0.7, MaxJobFrac: 0.2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	profiles := mpr.GPUProfiles()
+	appPower := map[string]mpr.CoreModel{}
+	for _, p := range profiles {
+		appPower[p.Name] = mpr.DefaultGPUCoreModel
+	}
+	fmt.Printf("GPU workload: %d jobs over 14 days; applications:\n", len(tr.Jobs))
+	for _, p := range profiles {
+		fmt.Printf("  %-10s (%s): perf at lowest cap %.0f%%, max reduction %.0f%%\n",
+			p.Name, p.Device, p.Performance(p.MinAlloc), 100*p.MaxReduction())
+	}
+	fmt.Println()
+
+	results := map[mpr.Algorithm]*mpr.SimResult{}
+	for _, algo := range []mpr.Algorithm{mpr.AlgOPT, mpr.AlgEQL, mpr.AlgMPRStat, mpr.AlgMPRInt} {
+		res, err := mpr.RunSim(mpr.SimConfig{
+			Trace:      tr,
+			OversubPct: 15,
+			Algorithm:  algo,
+			Seed:       3,
+			Profiles:   profiles,
+			CoreModel:  mpr.DefaultGPUCoreModel,
+			AppPower:   appPower,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[algo] = res
+		fmt.Printf("%-8s  cost %8.1f core-h   infeasible events %d\n",
+			algo, res.CostCoreH, res.InfeasibleEvents)
+	}
+
+	fmt.Println("\nper-application cost (core-h) — EQL vs MPR-INT:")
+	var names []string
+	for name := range results[mpr.AlgEQL].PerProfile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		eql := results[mpr.AlgEQL].PerProfile[name]
+		intr := results[mpr.AlgMPRInt].PerProfile[name]
+		fmt.Printf("  %-10s  EQL %8.2f   MPR-INT %8.2f\n", name, eql.CostCoreH, intr.CostCoreH)
+	}
+	fmt.Println("\nEQL hammers the sensitive applications (Jacobi, TeaLeaf);")
+	fmt.Println("the market shifts reductions to the insensitive ones.")
+}

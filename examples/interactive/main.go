@@ -1,0 +1,92 @@
+// Interactive market over TCP: the distributed MPR-INT deployment.
+//
+// A market manager daemon and four autonomous user bidding agents run in
+// this process and talk JSON-over-TCP through the loopback interface —
+// exactly how cmd/mprd and cmd/mpragent deploy across machines. The
+// manager clears two power emergencies of different sizes; each agent
+// responds to every price announcement with its gain-maximizing bid while
+// its private cost model never leaves the agent.
+//
+// Run with: go run ./examples/interactive
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"mpr"
+)
+
+func main() {
+	manager, err := mpr.NewManager("127.0.0.1:0", mpr.ManagerConfig{
+		RoundTimeout: time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer manager.Close()
+	fmt.Printf("manager listening on %s\n", manager.Addr())
+
+	apps := []struct {
+		name  string
+		cores float64
+		alpha float64
+	}{
+		{"XSBench", 32, 2}, // values its performance highly
+		{"SimpleMOC", 16, 1},
+		{"RSBench", 32, 1},
+		{"HPCCG", 48, 1},
+	}
+	var mu sync.Mutex
+	var agents []*mpr.Agent
+	for _, a := range apps {
+		prof, err := mpr.ProfileByName(a.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model := mpr.NewCostModel(prof, a.alpha, mpr.CostLinear)
+		name := a.name
+		agent, err := mpr.DialAgent(manager.Addr(), mpr.AgentConfig{
+			JobID:        name,
+			Cores:        a.cores,
+			WattsPerCore: mpr.DefaultCPUCoreModel.DynamicW,
+			MaxFrac:      prof.MaxReduction(),
+			Strategy:     &mpr.RationalBidder{Cores: a.cores, Model: model},
+			OnOrder: func(red, price, pay float64) {
+				mu.Lock()
+				fmt.Printf("  agent %-10s ordered to reduce %6.2f cores (payment %.3f/h)\n", name, red, pay)
+				mu.Unlock()
+			},
+			OnLift: func() {
+				mu.Lock()
+				fmt.Printf("  agent %-10s resumes full speed\n", name)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer agent.Close()
+		agents = append(agents, agent)
+	}
+	for manager.AgentCount() < len(agents) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("%d bidding agents registered\n\n", manager.AgentCount())
+
+	for _, targetW := range []float64{1500, 4000} {
+		fmt.Printf("power emergency: %.0f W reduction needed\n", targetW)
+		out, err := manager.RunMarket(targetW)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("market cleared at price %.4f in %d rounds (supplied %.0f W)\n",
+			out.Result.Price, out.Result.Rounds, out.Result.SuppliedW)
+		time.Sleep(50 * time.Millisecond) // let order callbacks print
+		manager.Lift()
+		time.Sleep(50 * time.Millisecond)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,59 @@
+// Oversubscription planning: how much capacity does oversubscription add
+// to a cluster, and what does overload handling cost?
+//
+// This example generates a Gaia-like workload, analyzes the benefit of
+// 10-25% oversubscription (a Table-I-style analysis), and then simulates
+// a month of operation at 15% with the MPR-STAT market handling the
+// overloads.
+//
+// Run with: go run ./examples/oversubscription
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpr"
+)
+
+func main() {
+	cfg := mpr.TracePresets(1)["gaia"].WithDays(30)
+	tr, err := mpr.GenerateTrace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d jobs on %d cores over 30 days (peak allocation %d)\n\n",
+		len(tr.Jobs), tr.TotalCores, tr.PeakAllocation())
+
+	// Capacity planning: utilization tail at each oversubscription level.
+	cdf := mpr.UtilizationCDF(tr, 60)
+	peakUtil := float64(tr.PeakAllocation()) / float64(tr.TotalCores)
+	fmt.Println("oversub   capacity threshold   P(overload)   extra core-h/month")
+	for _, x := range []float64{10, 15, 20, 25} {
+		threshold := peakUtil * 100 / (100 + x)
+		extra := mpr.Oversubscription{PeakW: 1, Percent: x}.ExtraCoreHours(float64(tr.TotalCores), 720)
+		fmt.Printf("  %3.0f%%    util > %.3f         %5.2f%%        %8.0f\n",
+			x, threshold, 100*cdf.Tail(threshold), extra)
+	}
+
+	// A month of operation at 15% with market-based overload handling.
+	res, err := mpr.RunSim(mpr.SimConfig{
+		Trace:      tr,
+		OversubPct: 15,
+		Algorithm:  mpr.AlgMPRStat,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated %s at 15%% oversubscription:\n", res.Algorithm)
+	fmt.Printf("  capacity %.1f kW against %.1f kW peak demand\n", res.CapacityW/1000, res.PeakW/1000)
+	fmt.Printf("  %d emergencies, %.2f%% of time overloaded\n", res.EmergencyCount, 100*res.OverloadFraction())
+	fmt.Printf("  %.1f%% of jobs affected, mean runtime increase %.3f%%\n",
+		100*res.AffectedFraction(), 100*res.MeanRuntimeIncrease)
+	fmt.Printf("  resource reduction %.0f core-h, user cost %.0f core-h\n", res.ReductionCoreH, res.CostCoreH)
+	fmt.Printf("  incentives paid %.0f core-h → users earned %.0f%% of their cost back\n",
+		res.PaymentCoreH, res.RewardPercent())
+	fmt.Printf("  manager added %.0f core-h of capacity → gain ratio %.0fx\n",
+		res.ExtraCapacityCoreH, res.GainRatio())
+}

@@ -1,0 +1,95 @@
+// Quickstart: clear an MPR power-reduction market by hand.
+//
+// Four jobs with different applications are running when the HPC system
+// overloads by 2 kW. We build the market participants, clear it once with
+// static cooperative bids (MPR-STAT), once interactively with rational
+// bidding agents (MPR-INT), and compare against the centralized optimum.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpr"
+)
+
+func main() {
+	apps := []struct {
+		name  string
+		cores float64
+	}{
+		{"XSBench", 32},   // sensitive to slowdown
+		{"SimpleMOC", 16}, // most sensitive
+		{"RSBench", 32},   // least sensitive
+		{"HPCCG", 48},     // insensitive
+	}
+
+	var parts []*mpr.Participant
+	var bidders []mpr.Bidder
+	for _, a := range apps {
+		prof, err := mpr.ProfileByName(a.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model := mpr.NewCostModel(prof, 1, mpr.CostLinear)
+		cores := a.cores
+		p := &mpr.Participant{
+			JobID:        a.name,
+			Cores:        cores,
+			Bid:          mpr.CooperativeBid(cores, model), // static MPR-STAT bid
+			WattsPerCore: mpr.DefaultCPUCoreModel.DynamicW,
+			MaxFrac:      prof.MaxReduction(),
+			// The cost functions stay with the user — OPT needs them,
+			// the market does not.
+			Cost:         func(d float64) float64 { return cores * model.Cost(d/cores) },
+			MarginalCost: func(d float64) float64 { return model.Marginal(d / cores) },
+		}
+		parts = append(parts, p)
+		bidders = append(bidders, &mpr.RationalBidder{Cores: cores, Model: model})
+	}
+
+	const targetW = 2000.0
+	fmt.Printf("power overload: need %.0f W of reduction from %d jobs\n\n", targetW, len(parts))
+
+	// MPR-STAT: one-shot clearing with the static bids.
+	stat, err := mpr.Clear(parts, targetW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MPR-STAT cleared at price %.4f (payout %.2f core-h/h):\n", stat.Price, stat.PayoutRate)
+	printOutcome(parts, stat.Reductions, stat.Price)
+
+	// MPR-INT: iterative price/bid exchange to the social optimum.
+	intr, err := mpr.ClearInteractive(parts, bidders, targetW, mpr.InteractiveConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMPR-INT cleared at price %.4f after %d rounds (converged=%v):\n",
+		intr.Price, intr.Rounds, intr.Converged)
+	printOutcome(parts, intr.Reductions, intr.Price)
+
+	// The centralized optimum the market approximates.
+	opt, err := mpr.SolveOPT(parts, targetW, mpr.OPTDual)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var intCost float64
+	for i, p := range parts {
+		intCost += p.Cost(intr.Reductions[i])
+	}
+	fmt.Printf("\nOPT total cost %.3f core-h/h vs MPR-INT %.3f (ratio %.3f)\n",
+		opt.TotalCost, intCost, intCost/opt.TotalCost)
+}
+
+func printOutcome(parts []*mpr.Participant, reductions []float64, price float64) {
+	settlements, err := mpr.Settle(parts, reductions, price)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range settlements {
+		fmt.Printf("  %-10s reduces %6.2f cores → paid %6.3f, cost %6.3f, net gain %+.3f core-h/h\n",
+			s.JobID, s.ReductionCores, s.PaymentRate, s.CostRate, s.NetGainRate)
+	}
+}

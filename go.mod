@@ -1,0 +1,3 @@
+module mpr
+
+go 1.22

@@ -1,0 +1,141 @@
+package agentproto
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"mpr/internal/core"
+)
+
+// AgentConfig describes the job a bidding agent represents.
+type AgentConfig struct {
+	JobID        string
+	Cores        float64
+	WattsPerCore float64
+	MaxFrac      float64
+	// Strategy computes the bid for each announced price — typically a
+	// core.RationalBidder wrapping the user's private cost model; the
+	// cost model never crosses the wire (the privacy property of supply
+	// function bidding, Section VI).
+	Strategy core.Bidder
+	// OnOrder, when set, is called with each awarded reduction.
+	OnOrder func(reductionCores, price, paymentRate float64)
+	// OnLift, when set, is called when the emergency ends.
+	OnLift func()
+}
+
+// Agent is a connected user bidding agent. It answers price announcements
+// autonomously — the "autonomous software agents" MPR-INT relies on
+// (Section III-D).
+type Agent struct {
+	cfg   AgentConfig
+	conn  net.Conn
+	codec *Codec
+
+	mu      sync.Mutex
+	lastBid core.Bid
+	orders  int
+	done    chan struct{}
+	err     error
+}
+
+// Dial connects an agent to the manager and registers its job.
+func Dial(addr string, cfg AgentConfig) (*Agent, error) {
+	if cfg.JobID == "" || cfg.Cores <= 0 || cfg.WattsPerCore <= 0 || cfg.MaxFrac <= 0 {
+		return nil, fmt.Errorf("agentproto: agent config needs job id and positive cores/watts/max_frac")
+	}
+	if cfg.Strategy == nil {
+		return nil, fmt.Errorf("agentproto: agent needs a bidding strategy")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agentproto: dial %s: %w", addr, err)
+	}
+	a := &Agent{cfg: cfg, conn: conn, codec: NewCodec(conn), done: make(chan struct{})}
+	if err := a.codec.Send(Message{
+		Type:         MsgHello,
+		JobID:        cfg.JobID,
+		Cores:        cfg.Cores,
+		WattsPerCore: cfg.WattsPerCore,
+		MaxFrac:      cfg.MaxFrac,
+	}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go a.loop()
+	return a, nil
+}
+
+// Close disconnects the agent.
+func (a *Agent) Close() error { return a.conn.Close() }
+
+// Done is closed when the agent's connection ends.
+func (a *Agent) Done() <-chan struct{} { return a.done }
+
+// Err returns the terminal error after Done is closed (nil on clean EOF).
+func (a *Agent) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// LastBid returns the most recent bid the agent sent.
+func (a *Agent) LastBid() core.Bid {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastBid
+}
+
+// Orders returns how many reduction orders the agent has received.
+func (a *Agent) Orders() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.orders
+}
+
+func (a *Agent) loop() {
+	defer close(a.done)
+	defer a.conn.Close()
+	for {
+		msg, err := a.codec.Recv()
+		if err != nil {
+			if err != io.EOF {
+				a.mu.Lock()
+				a.err = err
+				a.mu.Unlock()
+			}
+			return
+		}
+		switch msg.Type {
+		case MsgPrice:
+			bid := a.cfg.Strategy.RespondBid(msg.Price)
+			a.mu.Lock()
+			a.lastBid = bid
+			a.mu.Unlock()
+			if err := a.codec.Send(Message{Type: MsgBid, Round: msg.Round, Delta: bid.Delta, B: bid.B}); err != nil {
+				a.mu.Lock()
+				a.err = err
+				a.mu.Unlock()
+				return
+			}
+		case MsgOrder:
+			a.mu.Lock()
+			a.orders++
+			a.mu.Unlock()
+			if a.cfg.OnOrder != nil {
+				a.cfg.OnOrder(msg.ReductionCores, msg.Price, msg.PaymentRate)
+			}
+		case MsgLift:
+			if a.cfg.OnLift != nil {
+				a.cfg.OnLift()
+			}
+		case MsgError:
+			a.mu.Lock()
+			a.err = fmt.Errorf("agentproto: manager error: %s", msg.Reason)
+			a.mu.Unlock()
+			return
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package agentproto
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mpr/internal/core"
+	"mpr/internal/perf"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCodec(struct {
+		io.Reader
+		io.Writer
+	}{&buf, &buf})
+	want := Message{Type: MsgBid, Round: 3, Delta: 1.5, B: 0.25}
+	if err := c.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round trip: %+v != %+v", got, want)
+	}
+	if _, err := c.Recv(); err != io.EOF {
+		t.Errorf("want EOF at end, got %v", err)
+	}
+}
+
+func TestCodecBadJSON(t *testing.T) {
+	c := NewCodec(struct {
+		io.Reader
+		io.Writer
+	}{strings.NewReader("not-json\n"), io.Discard})
+	if _, err := c.Recv(); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func startManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := NewManager("127.0.0.1:0", ManagerConfig{RoundTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func dialAgent(t *testing.T, m *Manager, jobID, app string, cores float64) *Agent {
+	t.Helper()
+	prof, err := perf.ProfileByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := perf.NewCostModel(prof, 1, perf.CostLinear)
+	a, err := Dial(m.Addr(), AgentConfig{
+		JobID:        jobID,
+		Cores:        cores,
+		WattsPerCore: 125,
+		MaxFrac:      prof.MaxReduction(),
+		Strategy:     &core.RationalBidder{Cores: cores, Model: model},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+func waitAgents(t *testing.T, m *Manager, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for m.AgentCount() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("agents = %d, want %d", m.AgentCount(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestMarketOverTCP(t *testing.T) {
+	m := startManager(t)
+	apps := []string{"XSBench", "RSBench", "SimpleMOC", "CoMD"}
+	var orderMu sync.Mutex
+	payments := map[string]float64{}
+	for i, app := range apps {
+		prof, _ := perf.ProfileByName(app)
+		model := perf.NewCostModel(prof, 1, perf.CostLinear)
+		id := app
+		a, err := Dial(m.Addr(), AgentConfig{
+			JobID: id, Cores: 16, WattsPerCore: 125, MaxFrac: prof.MaxReduction(),
+			Strategy: &core.RationalBidder{Cores: 16, Model: model},
+			OnOrder: func(red, price, pay float64) {
+				orderMu.Lock()
+				payments[id] = pay
+				orderMu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { a.Close() })
+		_ = i
+	}
+	waitAgents(t, m, len(apps))
+
+	target := 2000.0
+	out, err := m.RunMarket(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Result.Converged {
+		t.Errorf("market did not converge in %d rounds", out.Result.Rounds)
+	}
+	if out.Result.SuppliedW < target-1e-6 {
+		t.Errorf("supplied %v < target %v", out.Result.SuppliedW, target)
+	}
+	if len(out.Orders) != len(apps) {
+		t.Errorf("orders = %d", len(out.Orders))
+	}
+	// Sensitive SimpleMOC reduces less than insensitive RSBench.
+	if out.Orders["SimpleMOC"] >= out.Orders["RSBench"] {
+		t.Errorf("SimpleMOC %v should reduce less than RSBench %v",
+			out.Orders["SimpleMOC"], out.Orders["RSBench"])
+	}
+	// Orders were delivered to agents.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		orderMu.Lock()
+		n := len(payments)
+		orderMu.Unlock()
+		if n == len(apps) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d agents got orders", n, len(apps))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for id, pay := range payments {
+		want := out.Result.Price * out.Orders[id]
+		if math.Abs(pay-want) > 1e-9 {
+			t.Errorf("%s payment %v != %v", id, pay, want)
+		}
+	}
+	m.Lift()
+}
+
+func TestMarketNoAgents(t *testing.T) {
+	m := startManager(t)
+	if _, err := m.RunMarket(100); err != core.ErrNoParticipants {
+		t.Errorf("err = %v, want ErrNoParticipants", err)
+	}
+}
+
+func TestDuplicateJobIDRejected(t *testing.T) {
+	m := startManager(t)
+	a1 := dialAgent(t, m, "job1", "XSBench", 8)
+	waitAgents(t, m, 1)
+	_ = a1
+	prof, _ := perf.ProfileByName("CoMD")
+	model := perf.NewCostModel(prof, 1, perf.CostLinear)
+	a2, err := Dial(m.Addr(), AgentConfig{
+		JobID: "job1", Cores: 8, WattsPerCore: 125, MaxFrac: prof.MaxReduction(),
+		Strategy: &core.RationalBidder{Cores: 8, Model: model},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	select {
+	case <-a2.Done():
+		if a2.Err() == nil || !strings.Contains(a2.Err().Error(), "duplicate") {
+			t.Errorf("err = %v, want duplicate job_id", a2.Err())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("duplicate agent not rejected")
+	}
+	if m.AgentCount() != 1 {
+		t.Errorf("agent count = %d", m.AgentCount())
+	}
+}
+
+func TestAgentDisconnectUnregisters(t *testing.T) {
+	m := startManager(t)
+	a := dialAgent(t, m, "gone", "HPCCG", 4)
+	waitAgents(t, m, 1)
+	a.Close()
+	waitAgents(t, m, 0)
+}
+
+func TestMarketSurvivesSilentAgent(t *testing.T) {
+	m := startManager(t)
+	dialAgent(t, m, "good", "RSBench", 32)
+	// A raw connection that says hello but never bids.
+	conn, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	codec := NewCodec(conn)
+	if err := codec.Send(Message{Type: MsgHello, JobID: "mute", Cores: 8, WattsPerCore: 125, MaxFrac: 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	waitAgents(t, m, 2)
+	// Small target the good agent can cover alone.
+	out, err := m.RunMarket(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.SuppliedW < 500-1e-6 {
+		t.Errorf("supplied %v despite silent agent", out.Result.SuppliedW)
+	}
+	if out.Orders["mute"] != 0 {
+		t.Errorf("mute agent got order %v, want 0", out.Orders["mute"])
+	}
+}
+
+func TestHelloValidation(t *testing.T) {
+	m := startManager(t)
+	conn, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	codec := NewCodec(conn)
+	if err := codec.Send(Message{Type: MsgHello, JobID: "bad", Cores: 0}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := codec.Recv()
+	if err != nil || msg.Type != MsgError {
+		t.Errorf("want error reply, got %+v, %v", msg, err)
+	}
+}
+
+func TestDialValidation(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", AgentConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	prof, _ := perf.ProfileByName("XSBench")
+	model := perf.NewCostModel(prof, 1, perf.CostLinear)
+	cfg := AgentConfig{JobID: "x", Cores: 1, WattsPerCore: 125, MaxFrac: 0.7,
+		Strategy: &core.RationalBidder{Cores: 1, Model: model}}
+	if _, err := Dial("127.0.0.1:1", cfg); err == nil {
+		t.Error("dial to dead port should fail")
+	}
+	cfg.Strategy = nil
+	if _, err := Dial("127.0.0.1:1", cfg); err == nil {
+		t.Error("missing strategy accepted")
+	}
+}
+
+// A misbehaving agent that floods stale bids from old rounds must not
+// corrupt the current round's clearing.
+func TestStaleBidsDiscarded(t *testing.T) {
+	m := startManager(t)
+	dialAgent(t, m, "good", "RSBench", 32)
+	conn, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	codec := NewCodec(conn)
+	if err := codec.Send(Message{Type: MsgHello, JobID: "stale", Cores: 8, WattsPerCore: 125, MaxFrac: 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	waitAgents(t, m, 2)
+	// The stale agent answers every price announcement with a bid
+	// stamped round 0... actually with an old round number and an
+	// absurd supply, which the manager must ignore.
+	go func() {
+		for {
+			msg, err := codec.Recv()
+			if err != nil {
+				return
+			}
+			if msg.Type == MsgPrice {
+				// Answer with a stale round number (msg.Round - 1).
+				_ = codec.Send(Message{Type: MsgBid, Round: msg.Round - 1, Delta: 1e9, B: 0})
+			}
+		}
+	}()
+	out, err := m.RunMarket(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stale agent's absurd Δ=1e9 bids (always one round behind)
+	// must never be accepted for the current round, so its order stays
+	// sane: at most its declared max reduction (8 cores × 0.7).
+	if out.Orders["stale"] > 8*0.7+1e-6 {
+		t.Errorf("stale agent order = %v, stale bid leaked in", out.Orders["stale"])
+	}
+	if out.Result.SuppliedW < 500-1e-6 {
+		t.Errorf("supplied %v", out.Result.SuppliedW)
+	}
+}

@@ -1,0 +1,302 @@
+package agentproto
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"mpr/internal/core"
+)
+
+// ManagerConfig parameterizes the market manager daemon.
+type ManagerConfig struct {
+	// InitialPrice opens each market (q′₀). Default 0.1.
+	InitialPrice float64
+	// MaxRounds bounds the price iterations per market. Default 50.
+	MaxRounds int
+	// Tolerance is the relative price-change convergence threshold.
+	// Default 1e-4.
+	Tolerance float64
+	// RoundTimeout bounds how long the manager waits for each round's
+	// bids — the paper's safety timeout ("e.g., 30 seconds" overall).
+	// Default 2 s per round.
+	RoundTimeout time.Duration
+	// Logf, when set, receives protocol diagnostics.
+	Logf func(format string, args ...interface{})
+}
+
+func (c *ManagerConfig) normalize() {
+	if c.InitialPrice <= 0 {
+		c.InitialPrice = 0.1
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 50
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 1e-4
+	}
+	if c.RoundTimeout <= 0 {
+		c.RoundTimeout = 2 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+}
+
+// agentConn is one connected bidding agent.
+type agentConn struct {
+	conn  net.Conn
+	codec *Codec
+	hello Message
+	bids  chan Message
+	mu    sync.Mutex // guards codec writes
+}
+
+func (a *agentConn) send(m Message) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.codec.Send(m)
+}
+
+// Manager is the market facilitator: it accepts agent registrations over
+// TCP and clears interactive markets on demand.
+type Manager struct {
+	cfg      ManagerConfig
+	listener net.Listener
+
+	mu     sync.Mutex
+	agents map[string]*agentConn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewManager starts a manager listening on addr (e.g. "127.0.0.1:0").
+func NewManager(addr string, cfg ManagerConfig) (*Manager, error) {
+	cfg.normalize()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agentproto: listen: %w", err)
+	}
+	m := &Manager{cfg: cfg, listener: ln, agents: make(map[string]*agentConn)}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the listen address for agents to dial.
+func (m *Manager) Addr() string { return m.listener.Addr().String() }
+
+// AgentCount reports the number of registered agents.
+func (m *Manager) AgentCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.agents)
+}
+
+// Close shuts the manager down and disconnects all agents.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	agents := make([]*agentConn, 0, len(m.agents))
+	for _, a := range m.agents {
+		agents = append(agents, a)
+	}
+	m.mu.Unlock()
+	err := m.listener.Close()
+	for _, a := range agents {
+		a.conn.Close()
+	}
+	m.wg.Wait()
+	return err
+}
+
+func (m *Manager) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.wg.Add(1)
+		go m.serve(conn)
+	}
+}
+
+func (m *Manager) serve(conn net.Conn) {
+	defer m.wg.Done()
+	codec := NewCodec(conn)
+	hello, err := codec.Recv()
+	if err != nil || hello.Type != MsgHello || hello.JobID == "" {
+		_ = codec.Send(Message{Type: MsgError, Reason: "expected hello with job_id"})
+		conn.Close()
+		return
+	}
+	if hello.Cores <= 0 || hello.WattsPerCore <= 0 || hello.MaxFrac <= 0 {
+		_ = codec.Send(Message{Type: MsgError, Reason: "hello needs positive cores, watts_per_core, max_frac"})
+		conn.Close()
+		return
+	}
+	a := &agentConn{conn: conn, codec: codec, hello: hello, bids: make(chan Message, 4)}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if _, dup := m.agents[hello.JobID]; dup {
+		m.mu.Unlock()
+		_ = codec.Send(Message{Type: MsgError, Reason: "duplicate job_id"})
+		conn.Close()
+		return
+	}
+	m.agents[hello.JobID] = a
+	m.mu.Unlock()
+	m.cfg.Logf("agent %s registered (%.0f cores)", hello.JobID, hello.Cores)
+
+	for {
+		msg, err := codec.Recv()
+		if err != nil {
+			break
+		}
+		if msg.Type == MsgBid {
+			select {
+			case a.bids <- msg:
+			default: // drop stale bid
+			}
+		}
+	}
+	m.mu.Lock()
+	delete(m.agents, hello.JobID)
+	m.mu.Unlock()
+	conn.Close()
+	m.cfg.Logf("agent %s disconnected", hello.JobID)
+}
+
+// MarketOutcome is the result of one interactive market run over the
+// connected agents.
+type MarketOutcome struct {
+	Result *core.ClearingResult
+	// Orders maps job IDs to awarded reductions (cores).
+	Orders map[string]float64
+}
+
+// RunMarket clears an interactive market for the given power-reduction
+// target over the currently registered agents, sends reduction orders,
+// and returns the outcome.
+func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
+	m.mu.Lock()
+	agents := make([]*agentConn, 0, len(m.agents))
+	for _, a := range m.agents {
+		agents = append(agents, a)
+	}
+	m.mu.Unlock()
+	sort.Slice(agents, func(i, j int) bool { return agents[i].hello.JobID < agents[j].hello.JobID })
+	if len(agents) == 0 {
+		return nil, core.ErrNoParticipants
+	}
+
+	parts := make([]*core.Participant, len(agents))
+	for i, a := range agents {
+		parts[i] = &core.Participant{
+			JobID:        a.hello.JobID,
+			Cores:        a.hello.Cores,
+			WattsPerCore: a.hello.WattsPerCore,
+			MaxFrac:      a.hello.MaxFrac,
+		}
+	}
+
+	price := m.cfg.InitialPrice
+	var res *core.ClearingResult
+	converged := false
+	rounds := 0
+	for round := 1; round <= m.cfg.MaxRounds; round++ {
+		rounds = round
+		// Broadcast the price and gather this round's bids.
+		for _, a := range agents {
+			if err := a.send(Message{Type: MsgPrice, Round: round, Price: price, TargetW: targetW}); err != nil {
+				m.cfg.Logf("price to %s failed: %v", a.hello.JobID, err)
+			}
+		}
+		deadline := time.After(m.cfg.RoundTimeout)
+	collect:
+		for i, a := range agents {
+			for {
+				select {
+				case bid := <-a.bids:
+					if bid.Round != round {
+						// Bids must echo the round they answer; anything
+						// else is stale (or fabricated) and is discarded.
+						continue
+					}
+					parts[i].Bid = core.Bid{Delta: bid.Delta, B: bid.B}
+					continue collect
+				case <-deadline:
+					// Keep the agent's previous bid (possibly zero) — the
+					// paper's timeout rule: the market proceeds with the
+					// last information available.
+					m.cfg.Logf("round %d: timeout waiting for %s", round, a.hello.JobID)
+					deadline = closedTimeChan()
+					continue collect
+				}
+			}
+		}
+		var err error
+		res, err = core.Clear(parts, targetW)
+		if err != nil {
+			return nil, err
+		}
+		if math.Abs(res.Price-price) <= m.cfg.Tolerance*math.Max(price, 1e-12) {
+			converged = true
+			break
+		}
+		price = res.Price
+	}
+	res.Rounds = rounds
+	res.Converged = converged
+
+	out := &MarketOutcome{Result: res, Orders: make(map[string]float64, len(agents))}
+	for i, a := range agents {
+		red := res.Reductions[i]
+		out.Orders[a.hello.JobID] = red
+		if err := a.send(Message{
+			Type:           MsgOrder,
+			Price:          res.Price,
+			ReductionCores: red,
+			PaymentRate:    res.Price * red,
+		}); err != nil {
+			m.cfg.Logf("order to %s failed: %v", a.hello.JobID, err)
+		}
+	}
+	return out, nil
+}
+
+// Lift broadcasts the end of the emergency.
+func (m *Manager) Lift() {
+	m.mu.Lock()
+	agents := make([]*agentConn, 0, len(m.agents))
+	for _, a := range m.agents {
+		agents = append(agents, a)
+	}
+	m.mu.Unlock()
+	for _, a := range agents {
+		if err := a.send(Message{Type: MsgLift}); err != nil {
+			m.cfg.Logf("lift to %s failed: %v", a.hello.JobID, err)
+		}
+	}
+}
+
+// closedTimeChan returns an already-fired timer channel so subsequent
+// selects fall through immediately.
+func closedTimeChan() <-chan time.Time {
+	ch := make(chan time.Time)
+	close(ch)
+	return ch
+}

@@ -1,0 +1,100 @@
+// Package agentproto implements the manager↔user communication of the
+// interactive MPR market (Section III-B, Fig. 5) as a JSON-lines protocol
+// over TCP: the HPC manager announces clearing prices, autonomous user
+// bidding agents respond with supply-function bids, and the exchange
+// repeats until the price converges or the manager's safety timeout fires,
+// at which point reduction orders are sent.
+//
+// The package provides both sides: Manager (the market facilitator of
+// cmd/mprd) and Agent (the lightweight bidding agent of cmd/mpragent).
+package agentproto
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType string
+
+// Protocol message types.
+const (
+	// MsgHello registers an agent's job with the manager.
+	MsgHello MsgType = "hello"
+	// MsgPrice announces a (round, price) pair to all agents.
+	MsgPrice MsgType = "price"
+	// MsgBid carries an agent's supply-function parameters for a round.
+	MsgBid MsgType = "bid"
+	// MsgOrder tells an agent its awarded resource reduction.
+	MsgOrder MsgType = "order"
+	// MsgLift tells agents the emergency is over.
+	MsgLift MsgType = "lift"
+	// MsgError reports a protocol failure.
+	MsgError MsgType = "error"
+)
+
+// Message is the wire envelope. Unused fields are omitted per type.
+type Message struct {
+	Type MsgType `json:"type"`
+
+	// Hello fields.
+	JobID string  `json:"job_id,omitempty"`
+	Cores float64 `json:"cores,omitempty"`
+	// WattsPerCore tells the manager this job's power model coefficient.
+	WattsPerCore float64 `json:"watts_per_core,omitempty"`
+	MaxFrac      float64 `json:"max_frac,omitempty"`
+
+	// Market fields.
+	Round   int     `json:"round,omitempty"`
+	Price   float64 `json:"price,omitempty"`
+	TargetW float64 `json:"target_w,omitempty"`
+
+	// Bid fields.
+	Delta float64 `json:"delta,omitempty"`
+	B     float64 `json:"b,omitempty"`
+
+	// Order fields.
+	ReductionCores float64 `json:"reduction_cores,omitempty"`
+	PaymentRate    float64 `json:"payment_rate,omitempty"`
+
+	// Error fields.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Codec frames Messages as JSON lines on a stream.
+type Codec struct {
+	enc *json.Encoder
+	sc  *bufio.Scanner
+}
+
+// NewCodec wraps a bidirectional stream.
+func NewCodec(rw io.ReadWriter) *Codec {
+	sc := bufio.NewScanner(rw)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	return &Codec{enc: json.NewEncoder(rw), sc: sc}
+}
+
+// Send writes one message.
+func (c *Codec) Send(m Message) error {
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("agentproto: send %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Recv reads the next message, returning io.EOF at end of stream.
+func (c *Codec) Recv() (Message, error) {
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return Message{}, fmt.Errorf("agentproto: recv: %w", err)
+		}
+		return Message{}, io.EOF
+	}
+	var m Message
+	if err := json.Unmarshal(c.sc.Bytes(), &m); err != nil {
+		return Message{}, fmt.Errorf("agentproto: decode: %w", err)
+	}
+	return m, nil
+}

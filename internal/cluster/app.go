@@ -1,0 +1,127 @@
+// Package cluster emulates the paper's prototype HPC cluster (Section
+// V-F): two servers with 40 Xeon cores total, four applications (CoMD,
+// HPCCG, miniMD, XSBench) pinned to 10 cores each, per-core DVFS between
+// 1.0 and 2.4 GHz, a noisy power meter, and a manager control loop that
+// detects overloads against a 400 W cap and clears an MPR market to slow
+// the applications down.
+//
+// The emulation exercises exactly the control path of the paper's
+// prototype — monitor → detect → clear → apply DVFS → lift — against
+// virtual time, so a "30-minute" experiment (Fig. 17) runs in
+// milliseconds. Power and performance responses to frequency (Fig. 16)
+// follow the same application profiles as the simulation study.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"mpr/internal/perf"
+)
+
+// Frequency limits of the prototype's acpi-cpufreq range (GHz).
+const (
+	FreqMin = 1.0
+	FreqMax = 2.4
+)
+
+// AppSpec describes one application running on the prototype.
+type AppSpec struct {
+	// Name must match a perf profile (performance response).
+	Name string
+	// Cores the application is pinned to.
+	Cores int
+	// StaticWPerCore is the idle power attributed per core.
+	StaticWPerCore float64
+	// DynMaxWPerCore is the application's dynamic power per core at
+	// FreqMax — applications stress the pipeline differently, which is
+	// why Fig. 16(a) shows different curves per application.
+	DynMaxWPerCore float64
+	// PowerExp shapes the dynamic power vs frequency curve:
+	// P(f) = DynMax·(f/FreqMax)^PowerExp. DVFS scales voltage with
+	// frequency, so the exponent is above 1.
+	PowerExp float64
+}
+
+// DefaultApps returns the paper's four prototype applications, sized so
+// the full-speed cluster draws ~470 W — comfortably above the 400 W cap
+// used to create overloads in the Fig. 17 experiment.
+func DefaultApps() []AppSpec {
+	return []AppSpec{
+		{Name: "CoMD", Cores: 10, StaticWPerCore: 3, DynMaxWPerCore: 9.0, PowerExp: 1.8},
+		{Name: "HPCCG", Cores: 10, StaticWPerCore: 3, DynMaxWPerCore: 7.5, PowerExp: 1.5},
+		{Name: "miniMD", Cores: 10, StaticWPerCore: 3, DynMaxWPerCore: 8.5, PowerExp: 1.7},
+		{Name: "XSBench", Cores: 10, StaticWPerCore: 3, DynMaxWPerCore: 10.0, PowerExp: 1.6},
+	}
+}
+
+// app is the runtime state of one application on the cluster.
+type app struct {
+	spec    AppSpec
+	profile *perf.Profile
+	model   *perf.CostModel
+
+	freqGHz  float64
+	workDone float64 // seconds of full-speed-equivalent work completed
+}
+
+func newApp(spec AppSpec, alpha float64, shape perf.CostShape) (*app, error) {
+	if spec.Cores <= 0 {
+		return nil, fmt.Errorf("cluster: app %s needs positive cores", spec.Name)
+	}
+	if spec.DynMaxWPerCore <= 0 || spec.PowerExp <= 0 {
+		return nil, fmt.Errorf("cluster: app %s needs positive power parameters", spec.Name)
+	}
+	prof, err := perf.ProfileByName(spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	return &app{
+		spec:    spec,
+		profile: prof,
+		model:   perf.NewCostModel(prof, alpha, shape),
+		freqGHz: FreqMax,
+	}, nil
+}
+
+// alloc maps the DVFS setting to the per-core allocation knob of the
+// paper: a core at f GHz counts as f/FreqMax of a core.
+func (a *app) alloc() float64 { return a.freqGHz / FreqMax }
+
+// setAlloc applies a per-core allocation by picking the matching DVFS
+// frequency, clamped to the supported range.
+func (a *app) setAlloc(alloc float64) {
+	f := alloc * FreqMax
+	if f < FreqMin {
+		f = FreqMin
+	}
+	if f > FreqMax {
+		f = FreqMax
+	}
+	a.freqGHz = f
+}
+
+// dynPowerPerCore returns the application's dynamic watts per core at its
+// current frequency.
+func (a *app) dynPowerPerCore() float64 {
+	return a.spec.DynMaxWPerCore * math.Pow(a.freqGHz/FreqMax, a.spec.PowerExp)
+}
+
+// powerW returns the application's total power draw.
+func (a *app) powerW() float64 {
+	return float64(a.spec.Cores) * (a.spec.StaticWPerCore + a.dynPowerPerCore())
+}
+
+// speed returns the application's relative execution speed at its current
+// frequency, from its performance profile.
+func (a *app) speed() float64 { return a.profile.Speed(a.alloc()) }
+
+// wattsPerCoreReduction linearizes the power response for the market's
+// P(δ) model: the secant slope of dynamic power between full speed and
+// the lowest allocation.
+func (a *app) wattsPerCoreReduction() float64 {
+	loAlloc := FreqMin / FreqMax
+	hi := a.spec.DynMaxWPerCore
+	lo := a.spec.DynMaxWPerCore * math.Pow(loAlloc, a.spec.PowerExp)
+	return (hi - lo) / (1 - loAlloc)
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"mpr/internal/perf"
+)
+
+// RationalBidder implements the MPR-INT bidding strategy of Section III-C:
+// on each announced price q it computes the per-core reduction δ* that
+// maximizes the user's net gain q·δ − C(δ) and encodes it as the bid
+// b = q·(Δ − δ*), so that the supply function reproduces exactly δ* at
+// price q.
+type RationalBidder struct {
+	// Cores scales the per-core model to the job's allocation.
+	Cores float64
+	// Model is the user's private cost model; it never leaves the bidder
+	// (the market only sees the resulting bid parameters).
+	Model *perf.CostModel
+}
+
+// RespondBid implements Bidder.
+func (r *RationalBidder) RespondBid(price float64) Bid {
+	maxPC := r.Model.Profile.MaxReduction()
+	delta := r.Cores * maxPC
+	if delta <= 0 {
+		return Bid{}
+	}
+	dStar := r.Cores * r.Model.GainMaximizingReduction(price)
+	b := price * (delta - dStar)
+	if b < 0 {
+		b = 0
+	}
+	return Bid{Delta: delta, B: b}
+}
+
+// StaticBidder wraps a fixed bid as a Bidder, for mixing MPR-STAT users
+// into an interactive market (partial participation studies).
+type StaticBidder struct{ Fixed Bid }
+
+// RespondBid implements Bidder by ignoring the price.
+func (s *StaticBidder) RespondBid(float64) Bid { return s.Fixed }
+
+// CooperativeBid devises the paper's cooperative static bid for MPR-STAT
+// (Fig. 4(a)): the largest supply whose curve stays below the user's
+// bidding reference at every price, guaranteeing a non-negative net gain
+// over the entire price range. Formally b = max_q q·(Δ − δ_ref(q)), so
+// that δ_bid(q) = Δ − b/q ≤ δ_ref(q) for all q.
+func CooperativeBid(cores float64, model *perf.CostModel) Bid {
+	maxPC := model.Profile.MaxReduction()
+	delta := cores * maxPC
+	if delta <= 0 {
+		return Bid{}
+	}
+	// Beyond the saturation price q_sat = UnitCost(Δ) the reference
+	// supplies the full Δ and the constraint term q·(Δ−δ_ref) vanishes,
+	// so the maximum lies in (0, q_sat].
+	qSat := model.UnitCost(maxPC)
+	const samples = 512
+	b := 0.0
+	for i := 1; i <= samples; i++ {
+		q := qSat * float64(i) / samples
+		ref := model.ReferenceReduction(q)
+		if v := q * (maxPC - ref); v > b {
+			b = v
+		}
+	}
+	return Bid{Delta: delta, B: b * cores}
+}
+
+// ConservativeBid scales the cooperative bid's reluctance up by factor
+// (> 1): the user offers less reduction than its reference at every price,
+// keeping extra margin for cost-estimation error (Fig. 4(a), Section III-F).
+func ConservativeBid(cores float64, model *perf.CostModel, factor float64) Bid {
+	if factor < 1 {
+		factor = 1
+	}
+	b := CooperativeBid(cores, model)
+	b.B *= factor
+	return b
+}
+
+// DeficientBid scales the cooperative bid's reluctance down by factor
+// (< 1): the user over-supplies at low prices and can incur a negative net
+// gain for part of the price range — the cautionary strategy of Fig. 4(a).
+func DeficientBid(cores float64, model *perf.CostModel, factor float64) Bid {
+	if factor > 1 {
+		factor = 1
+	}
+	if factor < 0 {
+		factor = 0
+	}
+	b := CooperativeBid(cores, model)
+	b.B *= factor
+	return b
+}

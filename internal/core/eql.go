@@ -1,0 +1,64 @@
+package core
+
+import "fmt"
+
+// SolveEQL implements the paper's performance-oblivious baseline: every
+// core in the system is slowed by the same fraction until the power
+// reduction target is met (Section IV-A). The uniform fraction is bounded
+// by the smallest per-core reduction any active application supports —
+// equal slowdown cannot push one application below its supported range
+// while keeping the slowdown equal — which is why EQL can fail to find a
+// feasible allocation on heterogeneous systems (Fig. 15(b)).
+//
+// EQL's per-participant "bookkeeping" (recording every job's new
+// allocation) is what makes its solution time grow linearly with the
+// number of active jobs in Fig. 10(a).
+func SolveEQL(ps []*Participant, targetW float64) (*AllocationResult, error) {
+	res := &AllocationResult{
+		Reductions: make([]float64, len(ps)),
+		TargetW:    targetW,
+		Feasible:   true,
+	}
+	if targetW <= 0 {
+		return res, nil
+	}
+	if len(ps) == 0 {
+		return nil, ErrNoParticipants
+	}
+
+	// Watts saved per unit of uniform fraction, and the feasibility bound.
+	var wattsPerFrac float64
+	maxFrac := -1.0
+	for _, p := range ps {
+		if p.WattsPerCore <= 0 {
+			return nil, fmt.Errorf("core: participant %s: watts-per-core must be positive", p.JobID)
+		}
+		if p.Cores < 0 {
+			return nil, fmt.Errorf("core: participant %s: negative cores", p.JobID)
+		}
+		wattsPerFrac += p.Cores * p.WattsPerCore
+		if maxFrac < 0 || p.MaxFrac < maxFrac {
+			maxFrac = p.MaxFrac
+		}
+	}
+	if wattsPerFrac <= 0 {
+		res.Feasible = false
+		return res, nil
+	}
+
+	frac := targetW / wattsPerFrac
+	if frac > maxFrac {
+		frac = maxFrac
+		res.Feasible = false
+	}
+
+	// Bookkeeping: record each job's new allocation.
+	for i, p := range ps {
+		res.Reductions[i] = frac * p.Cores
+		res.SuppliedW += p.WattsPerCore * res.Reductions[i]
+		if p.Cost != nil {
+			res.TotalCost += p.Cost(res.Reductions[i])
+		}
+	}
+	return res, nil
+}

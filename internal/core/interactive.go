@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bidder is the user side of the interactive market: given the manager's
+// announced price, return an updated bid. Rational users respond with the
+// bid that maximizes their net gain (Eqn. (7)); RationalBidder in
+// bidding.go implements that strategy.
+type Bidder interface {
+	RespondBid(price float64) Bid
+}
+
+// InteractiveConfig parameterizes the MPR-INT market loop.
+type InteractiveConfig struct {
+	// InitialPrice is the price the manager announces to open the market
+	// (q′₀ in Section III-B). Default 0.1.
+	InitialPrice float64
+	// MaxRounds bounds the number of manager↔user exchanges; the paper
+	// suggests a timeout (e.g. 30 s) after which the last price stands.
+	// Default 100.
+	MaxRounds int
+	// Tolerance is the relative price change below which the market is
+	// considered converged (Nash equilibrium reached). Default 1e-6.
+	Tolerance float64
+}
+
+func (c *InteractiveConfig) normalize() {
+	if c.InitialPrice <= 0 {
+		c.InitialPrice = 0.1
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 100
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 1e-6
+	}
+}
+
+// ClearInteractive runs the MPR-INT market: the manager announces a price,
+// every user responds with its gain-maximizing bid, the manager re-clears
+// MClr with the fresh bids, and the exchange repeats until the clearing
+// price stabilizes (guaranteed for the paper's supply function when users
+// bid rationally against convex costs) or MaxRounds is exhausted.
+//
+// ps[i].Bid is ignored; bidders[i] supplies job i's bid each round. The
+// returned result's Rounds counts the exchanges and Converged reports
+// whether the price stabilized within the budget.
+func ClearInteractive(ps []*Participant, bidders []Bidder, targetW float64, cfg InteractiveConfig) (*ClearingResult, error) {
+	if len(ps) != len(bidders) {
+		return nil, fmt.Errorf("core: %d participants but %d bidders", len(ps), len(bidders))
+	}
+	cfg.normalize()
+	if targetW <= 0 {
+		return &ClearingResult{
+			Reductions: make([]float64, len(ps)),
+			Feasible:   true, Converged: true, Rounds: 0,
+		}, nil
+	}
+	if len(ps) == 0 {
+		return nil, ErrNoParticipants
+	}
+
+	q := cfg.InitialPrice
+	var res *ClearingResult
+	var err error
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		for i, b := range bidders {
+			ps[i].Bid = b.RespondBid(q)
+		}
+		res, err = Clear(ps, targetW)
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds = round
+		if math.Abs(res.Price-q) <= cfg.Tolerance*math.Max(q, 1e-12) {
+			res.Converged = true
+			return res, nil
+		}
+		q = res.Price
+	}
+	res.Converged = false
+	return res, nil
+}

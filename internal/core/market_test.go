@@ -1,0 +1,402 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mpr/internal/perf"
+)
+
+// newParticipant builds a participant for application `app` with the given
+// cores, wiring the evaluation-side cost functions from the perf model.
+func newParticipant(t testing.TB, id, app string, cores float64) (*Participant, *perf.CostModel) {
+	t.Helper()
+	prof, err := perf.ProfileByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := perf.NewCostModel(prof, 1, perf.CostLinear)
+	p := &Participant{
+		JobID:        id,
+		Cores:        cores,
+		WattsPerCore: 125,
+		MaxFrac:      prof.MaxReduction(),
+		Cost: func(d float64) float64 {
+			if cores <= 0 {
+				return 0
+			}
+			return cores * model.Cost(d/cores)
+		},
+		MarginalCost: func(d float64) float64 {
+			if cores <= 0 {
+				return 0
+			}
+			return model.Marginal(d / cores)
+		},
+	}
+	p.Bid = CooperativeBid(cores, model)
+	return p, model
+}
+
+func testPool(t testing.TB) []*Participant {
+	apps := []string{"XSBench", "RSBench", "SimpleMOC", "CoMD", "HPCCG", "SWFFT"}
+	ps := make([]*Participant, len(apps))
+	for i, a := range apps {
+		p, _ := newParticipant(t, a, a, 16)
+		ps[i] = p
+	}
+	return ps
+}
+
+func TestBidSupplyShape(t *testing.T) {
+	b := Bid{Delta: 0.7, B: 0.14}
+	if s := b.Supply(0); s != 0 {
+		t.Errorf("supply(0) = %v", s)
+	}
+	// Activation at q = b/Δ = 0.2.
+	if s := b.Supply(0.2); math.Abs(s) > 1e-12 {
+		t.Errorf("supply at activation = %v", s)
+	}
+	if s := b.Supply(0.4); math.Abs(s-0.35) > 1e-12 {
+		t.Errorf("supply(0.4) = %v, want 0.35", s)
+	}
+	if s := b.Supply(1e12); math.Abs(s-0.7) > 1e-6 {
+		t.Errorf("supply at huge price = %v, want ~Δ", s)
+	}
+	// Fully willing bidder: full supply at any price.
+	if s := (Bid{Delta: 0.5, B: 0}).Supply(0); s != 0.5 {
+		t.Errorf("b=0 supply(0) = %v", s)
+	}
+}
+
+// Property: supply is in [0, Δ] and non-decreasing in price.
+func TestBidSupplyProperties(t *testing.T) {
+	prop := func(rawDelta, rawB, rawQ1, rawQ2 float64) bool {
+		delta := math.Abs(math.Mod(rawDelta, 100))
+		bb := math.Abs(math.Mod(rawB, 50))
+		q1 := math.Abs(math.Mod(rawQ1, 10))
+		q2 := math.Abs(math.Mod(rawQ2, 10))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		b := Bid{Delta: delta, B: bb}
+		s1, s2 := b.Supply(q1), b.Supply(q2)
+		return s1 >= 0 && s2 <= delta+1e-12 && s1 <= s2+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBidValidate(t *testing.T) {
+	if err := (Bid{Delta: -1}).Validate(); err == nil {
+		t.Error("negative Δ accepted")
+	}
+	if err := (Bid{Delta: 1, B: -1}).Validate(); err == nil {
+		t.Error("negative b accepted")
+	}
+	if err := (Bid{Delta: 1, B: 0.5}).Validate(); err != nil {
+		t.Errorf("valid bid rejected: %v", err)
+	}
+}
+
+func TestActivationPrice(t *testing.T) {
+	if ap := (Bid{Delta: 0.7, B: 0.14}).ActivationPrice(); math.Abs(ap-0.2) > 1e-12 {
+		t.Errorf("activation = %v", ap)
+	}
+	if ap := (Bid{Delta: 0, B: 5}).ActivationPrice(); ap != 0 {
+		t.Errorf("zero-Δ activation = %v", ap)
+	}
+}
+
+func TestClearMeetsTarget(t *testing.T) {
+	ps := testPool(t)
+	// Max supply: 6 jobs × 16 cores × 0.7 × 125 W = 8400 W.
+	target := 3000.0
+	res, err := Clear(ps, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("should be feasible")
+	}
+	if res.SuppliedW < target-1e-6 {
+		t.Errorf("supplied %v < target %v", res.SuppliedW, target)
+	}
+	// Minimality: at a slightly lower price, supply falls short.
+	eps := res.Price * 1e-3
+	var below float64
+	for _, p := range ps {
+		below += p.WattsPerCore * p.Bid.Supply(res.Price-eps)
+	}
+	if below >= target+1e-6 && res.Price > eps {
+		t.Errorf("price not minimal: supply at q-ε = %v >= target", below)
+	}
+}
+
+func TestClearZeroTarget(t *testing.T) {
+	ps := testPool(t)
+	res, err := Clear(ps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Price != 0 || res.SuppliedW != 0 {
+		t.Errorf("zero target result = %+v", res)
+	}
+	for _, d := range res.Reductions {
+		if d != 0 {
+			t.Error("nonzero reduction for zero target")
+		}
+	}
+}
+
+func TestClearNoParticipants(t *testing.T) {
+	if _, err := Clear(nil, 100); err != ErrNoParticipants {
+		t.Errorf("err = %v, want ErrNoParticipants", err)
+	}
+	// Zero target with no participants is fine.
+	if _, err := Clear(nil, 0); err != nil {
+		t.Errorf("zero target should succeed: %v", err)
+	}
+}
+
+func TestClearInfeasible(t *testing.T) {
+	ps := testPool(t)
+	res, err := Clear(ps, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("should be infeasible")
+	}
+	// Every participant saturates at its maximum.
+	for i, p := range ps {
+		if math.Abs(res.Reductions[i]-p.Bid.Delta) > 1e-3 {
+			t.Errorf("participant %d not saturated: %v vs Δ=%v", i, res.Reductions[i], p.Bid.Delta)
+		}
+	}
+}
+
+func TestClearValidatesParticipants(t *testing.T) {
+	bad := &Participant{JobID: "bad", Cores: 1, WattsPerCore: 0, Bid: Bid{Delta: 1}}
+	if _, err := Clear([]*Participant{bad}, 10); err == nil {
+		t.Error("invalid participant accepted")
+	}
+}
+
+// Property: for random feasible targets the cleared supply meets the
+// target and no reduction exceeds its bid's Δ.
+func TestClearProperty(t *testing.T) {
+	ps := testPool(t)
+	maxW := 0.0
+	for _, p := range ps {
+		maxW += p.WattsPerCore * p.Bid.Delta
+	}
+	prop := func(raw float64) bool {
+		target := math.Abs(math.Mod(raw, 0.95)) * maxW
+		res, err := Clear(ps, target)
+		if err != nil || !res.Feasible {
+			return false
+		}
+		if res.SuppliedW < target-1e-6 {
+			return false
+		}
+		for i, p := range ps {
+			if res.Reductions[i] < -1e-12 || res.Reductions[i] > p.Bid.Delta+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Higher prices are needed for higher targets (clearing price monotone in
+// target).
+func TestClearPriceMonotoneInTarget(t *testing.T) {
+	ps := testPool(t)
+	prev := -1.0
+	for _, target := range []float64{500, 1500, 3000, 5000, 7000} {
+		res, err := Clear(ps, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Price < prev-1e-9 {
+			t.Errorf("price decreased at target %v: %v < %v", target, res.Price, prev)
+		}
+		prev = res.Price
+	}
+}
+
+func TestSettle(t *testing.T) {
+	ps := testPool(t)
+	res, err := Clear(ps, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := Settle(ps, res.Reductions, res.Price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != len(ps) {
+		t.Fatalf("settlements = %d", len(ss))
+	}
+	if math.Abs(TotalPayment(ss)-res.PayoutRate) > 1e-9 {
+		t.Errorf("total payment %v != payout rate %v", TotalPayment(ss), res.PayoutRate)
+	}
+	for _, s := range ss {
+		if math.Abs(s.NetGainRate-(s.PaymentRate-s.CostRate)) > 1e-12 {
+			t.Errorf("net gain arithmetic: %+v", s)
+		}
+	}
+	if TotalCost(ss) <= 0 {
+		t.Error("expected positive total cost for a met target")
+	}
+	if _, err := Settle(ps, res.Reductions[:1], res.Price); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// The headline market property: cooperative bidders never lose money at
+// any clearing price (Section III-C, Fig. 4(a)).
+func TestCooperativeBidNoLossAtAnyPrice(t *testing.T) {
+	for _, app := range []string{"XSBench", "SimpleMOC", "RSBench", "Jacobi"} {
+		prof, _ := perf.ProfileByName(app)
+		model := perf.NewCostModel(prof, 1, perf.CostLinear)
+		cores := 8.0
+		bid := CooperativeBid(cores, model)
+		if bid.Delta <= 0 {
+			t.Fatalf("%s: empty cooperative bid", app)
+		}
+		for q := 0.01; q < 20; q *= 1.3 {
+			d := bid.Supply(q)
+			cost := cores * model.Cost(d/cores)
+			gain := q*d - cost
+			if gain < -1e-6 {
+				t.Errorf("%s: cooperative bid loses at q=%v: gain=%v", app, q, gain)
+			}
+		}
+	}
+}
+
+// A deficient bid must lose money somewhere in the price range — that is
+// what makes it deficient (Fig. 4(a)).
+func TestDeficientBidLosesSomewhere(t *testing.T) {
+	prof, _ := perf.ProfileByName("XSBench")
+	model := perf.NewCostModel(prof, 1, perf.CostLinear)
+	cores := 8.0
+	bid := DeficientBid(cores, model, 0.3)
+	worst := math.Inf(1)
+	for q := 0.01; q < 20; q *= 1.1 {
+		d := bid.Supply(q)
+		gain := q*d - cores*model.Cost(d/cores)
+		if gain < worst {
+			worst = gain
+		}
+	}
+	if worst >= 0 {
+		t.Errorf("deficient bid never lost money (worst gain %v)", worst)
+	}
+}
+
+// A conservative bid supplies no more than the cooperative bid at every
+// price.
+func TestConservativeBidSuppliesLess(t *testing.T) {
+	prof, _ := perf.ProfileByName("SWFFT")
+	model := perf.NewCostModel(prof, 1, perf.CostLinear)
+	coop := CooperativeBid(4, model)
+	cons := ConservativeBid(4, model, 1.5)
+	for q := 0.05; q < 10; q *= 1.5 {
+		if cons.Supply(q) > coop.Supply(q)+1e-12 {
+			t.Errorf("conservative supplies more at q=%v", q)
+		}
+	}
+	// Factor below 1 is clamped to 1 (same as cooperative).
+	same := ConservativeBid(4, model, 0.5)
+	if same.B != coop.B {
+		t.Error("conservative factor < 1 not clamped")
+	}
+	// Deficient factor clamps to [0, 1].
+	if DeficientBid(4, model, 2).B != coop.B {
+		t.Error("deficient factor > 1 not clamped")
+	}
+	if DeficientBid(4, model, -1).B != 0 {
+		t.Error("deficient factor < 0 not clamped")
+	}
+}
+
+func TestRationalBidderSupplyMatchesOptimum(t *testing.T) {
+	prof, _ := perf.ProfileByName("XSBench")
+	model := perf.NewCostModel(prof, 1, perf.CostLinear)
+	rb := &RationalBidder{Cores: 10, Model: model}
+	for _, q := range []float64{0.2, 0.5, 1.0, 2.0} {
+		bid := rb.RespondBid(q)
+		want := 10 * model.GainMaximizingReduction(q)
+		if got := bid.Supply(q); math.Abs(got-want) > 1e-6 {
+			t.Errorf("q=%v: bid supplies %v, gain-optimal is %v", q, got, want)
+		}
+	}
+}
+
+func TestRationalBidderZeroCores(t *testing.T) {
+	prof, _ := perf.ProfileByName("XSBench")
+	model := perf.NewCostModel(prof, 1, perf.CostLinear)
+	rb := &RationalBidder{Cores: 0, Model: model}
+	bid := rb.RespondBid(1)
+	if bid.Delta != 0 || bid.B != 0 {
+		t.Errorf("zero-core bid = %+v", bid)
+	}
+}
+
+func TestClearCappedNoOpBelowCap(t *testing.T) {
+	ps := testPool(t)
+	uncapped, err := Clear(ps, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := ClearCapped(ps, 3000, uncapped.Price*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Price != uncapped.Price || !capped.Feasible {
+		t.Errorf("loose cap changed the outcome: %+v vs %+v", capped, uncapped)
+	}
+}
+
+func TestClearCappedBinds(t *testing.T) {
+	ps := testPool(t)
+	uncapped, err := Clear(ps, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := uncapped.Price / 2
+	capped, err := ClearCapped(ps, 6000, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Price != cap {
+		t.Errorf("price = %v, want cap %v", capped.Price, cap)
+	}
+	if capped.Feasible {
+		t.Error("binding cap should report a shortfall")
+	}
+	if capped.SuppliedW >= uncapped.SuppliedW {
+		t.Errorf("capped supply %v should fall below uncapped %v", capped.SuppliedW, uncapped.SuppliedW)
+	}
+	if capped.PayoutRate >= uncapped.PayoutRate {
+		t.Errorf("capped payout %v should fall below uncapped %v", capped.PayoutRate, uncapped.PayoutRate)
+	}
+}
+
+func TestClearCappedValidation(t *testing.T) {
+	ps := testPool(t)
+	if _, err := ClearCapped(ps, 100, 0); err == nil {
+		t.Error("zero cap accepted")
+	}
+	if _, err := ClearCapped(ps, 100, -1); err == nil {
+		t.Error("negative cap accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"mpr/internal/solver"
+)
+
+// OPTMethod selects how the OPT benchmark is solved.
+type OPTMethod int
+
+const (
+	// OPTGeneric solves OPT with a general-purpose projected-gradient
+	// NLP solver — the analogue of the paper's generic optimizer whose
+	// run time balloons with the number of jobs (Fig. 10(a)).
+	OPTGeneric OPTMethod = iota
+	// OPTDual exploits the problem's separable convex structure and
+	// solves the KKT conditions by bisection on the dual multiplier.
+	// Used to cross-check the generic solver and the market outcome.
+	OPTDual
+)
+
+// String implements fmt.Stringer.
+func (m OPTMethod) String() string {
+	switch m {
+	case OPTGeneric:
+		return "generic"
+	case OPTDual:
+		return "dual"
+	default:
+		return "unknown"
+	}
+}
+
+// AllocationResult is the outcome of a centralized (non-market) overload
+// handling algorithm.
+type AllocationResult struct {
+	// Reductions holds per-participant resource reductions in cores.
+	Reductions []float64
+	// SuppliedW is the achieved power reduction.
+	SuppliedW float64
+	// TargetW echoes the request.
+	TargetW float64
+	// Feasible reports whether the target could be met.
+	Feasible bool
+	// Iterations counts solver iterations (0 for closed-form methods).
+	Iterations int
+	// TotalCost is Σ Cost_m(δ_m), the objective OPT minimizes.
+	TotalCost float64
+}
+
+// SolveOPT solves the paper's OPT problem (Eqns. (1)-(2)): minimize the
+// total cost of performance loss subject to meeting the power-reduction
+// target. Unlike the market, OPT requires every participant's private
+// cost function — exactly the burden MPR removes from the HPC manager.
+func SolveOPT(ps []*Participant, targetW float64, method OPTMethod) (*AllocationResult, error) {
+	res := &AllocationResult{
+		Reductions: make([]float64, len(ps)),
+		TargetW:    targetW,
+		Feasible:   true,
+	}
+	if targetW <= 0 {
+		return res, nil
+	}
+	if len(ps) == 0 {
+		return nil, ErrNoParticipants
+	}
+	for _, p := range ps {
+		if p.Cost == nil || p.MarginalCost == nil {
+			return nil, fmt.Errorf("core: OPT requires cost functions; participant %s has none", p.JobID)
+		}
+		if p.WattsPerCore <= 0 {
+			return nil, fmt.Errorf("core: participant %s: watts-per-core must be positive", p.JobID)
+		}
+	}
+
+	prob := solver.ProjectedGradientProblem{
+		N:      len(ps),
+		Cost:   func(m int, x float64) float64 { return ps[m].Cost(x) },
+		Grad:   func(m int, x float64) float64 { return ps[m].MarginalCost(x) },
+		Coeff:  make([]float64, len(ps)),
+		Upper:  make([]float64, len(ps)),
+		Target: targetW,
+	}
+	for i, p := range ps {
+		prob.Coeff[i] = p.WattsPerCore
+		prob.Upper[i] = p.MaxReduction()
+	}
+
+	var sol solver.ProjectedGradientResult
+	switch method {
+	case OPTDual:
+		sol = solver.DualBisection(prob, 1e-10)
+	default:
+		sol = solver.SolveProjectedGradient(prob, 20000, 1e-9)
+	}
+	res.Reductions = sol.X
+	res.Iterations = sol.Iterations
+	res.Feasible = sol.Feasible
+	res.TotalCost = sol.Objective
+	for i, p := range ps {
+		res.SuppliedW += p.WattsPerCore * sol.X[i]
+	}
+	return res, nil
+}

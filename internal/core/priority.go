@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SolvePriority implements the priority-aware capping strategy of
+// large-scale data centers (the paper's related work [32], [49]): jobs are
+// tiered by priority and the manager saturates the reduction of the
+// lowest tier before touching the next one, splitting proportionally
+// within a tier. Like EQL it is performance-oblivious — it never sees the
+// users' cost structure — but it respects business priorities, so it sits
+// between EQL and the market in the cost spectrum whenever priorities
+// correlate with performance sensitivity.
+//
+// priorities[i] is job i's tier; larger values are more important and are
+// cut last.
+func SolvePriority(ps []*Participant, priorities []int, targetW float64) (*AllocationResult, error) {
+	if len(priorities) != len(ps) {
+		return nil, fmt.Errorf("core: %d participants but %d priorities", len(ps), len(priorities))
+	}
+	res := &AllocationResult{
+		Reductions: make([]float64, len(ps)),
+		TargetW:    targetW,
+		Feasible:   true,
+	}
+	if targetW <= 0 {
+		return res, nil
+	}
+	if len(ps) == 0 {
+		return nil, ErrNoParticipants
+	}
+	for _, p := range ps {
+		if p.WattsPerCore <= 0 {
+			return nil, fmt.Errorf("core: participant %s: watts-per-core must be positive", p.JobID)
+		}
+	}
+
+	// Group indices by tier, lowest first.
+	byTier := map[int][]int{}
+	for i := range ps {
+		byTier[priorities[i]] = append(byTier[priorities[i]], i)
+	}
+	tiers := make([]int, 0, len(byTier))
+	for t := range byTier {
+		tiers = append(tiers, t)
+	}
+	sort.Ints(tiers)
+
+	remaining := targetW
+	for _, tier := range tiers {
+		if remaining <= 0 {
+			break
+		}
+		idxs := byTier[tier]
+		var tierMaxW float64
+		for _, i := range idxs {
+			tierMaxW += ps[i].WattsPerCore * ps[i].MaxReduction()
+		}
+		if tierMaxW <= 0 {
+			continue
+		}
+		frac := remaining / tierMaxW
+		if frac > 1 {
+			frac = 1
+		}
+		for _, i := range idxs {
+			red := frac * ps[i].MaxReduction()
+			res.Reductions[i] = red
+			w := ps[i].WattsPerCore * red
+			res.SuppliedW += w
+			remaining -= w
+			if ps[i].Cost != nil {
+				res.TotalCost += ps[i].Cost(red)
+			}
+		}
+	}
+	if remaining > 1e-9 {
+		res.Feasible = false
+	}
+	return res, nil
+}

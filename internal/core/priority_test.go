@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPriorityCutsLowTierFirst(t *testing.T) {
+	ps := testPool(t) // 6 participants, 16 cores each
+	prios := []int{0, 0, 1, 1, 2, 2}
+	// A small target only the lowest tier should cover:
+	// tier-0 max supply = 2 × 16 × 0.7 × 125 = 2800 W.
+	res, err := SolvePriority(ps, prios, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.SuppliedW < 2000-1e-6 {
+		t.Fatalf("result = %+v", res)
+	}
+	for i := 2; i < 6; i++ {
+		if res.Reductions[i] != 0 {
+			t.Errorf("higher tier %d was cut: %v", i, res.Reductions[i])
+		}
+	}
+	if res.Reductions[0] <= 0 || res.Reductions[1] <= 0 {
+		t.Error("lowest tier not cut")
+	}
+}
+
+func TestPriorityCascades(t *testing.T) {
+	ps := testPool(t)
+	prios := []int{0, 0, 1, 1, 2, 2}
+	// Beyond tier 0's 2800 W: tier 0 saturates, tier 1 supplies the rest.
+	res, err := SolvePriority(ps, prios, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("infeasible")
+	}
+	for i := 0; i < 2; i++ {
+		if math.Abs(res.Reductions[i]-ps[i].MaxReduction()) > 1e-9 {
+			t.Errorf("tier 0 job %d not saturated: %v", i, res.Reductions[i])
+		}
+	}
+	if res.Reductions[2] <= 0 || res.Reductions[3] <= 0 {
+		t.Error("tier 1 untouched despite cascade")
+	}
+	for i := 4; i < 6; i++ {
+		if res.Reductions[i] != 0 {
+			t.Errorf("tier 2 cut prematurely: %v", res.Reductions[i])
+		}
+	}
+}
+
+func TestPriorityInfeasible(t *testing.T) {
+	ps := testPool(t)
+	prios := make([]int, len(ps))
+	res, err := SolvePriority(ps, prios, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Error("should be infeasible")
+	}
+	for i, p := range ps {
+		if math.Abs(res.Reductions[i]-p.MaxReduction()) > 1e-9 {
+			t.Errorf("job %d not saturated under infeasibility", i)
+		}
+	}
+}
+
+func TestPriorityValidation(t *testing.T) {
+	ps := testPool(t)
+	if _, err := SolvePriority(ps, []int{1}, 100); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := SolvePriority(nil, nil, 100); err != ErrNoParticipants {
+		t.Errorf("err = %v", err)
+	}
+	res, err := SolvePriority(nil, nil, 0)
+	if err != nil || !res.Feasible {
+		t.Errorf("zero target: %v %+v", err, res)
+	}
+	bad := &Participant{JobID: "b", Cores: 4, WattsPerCore: 0, MaxFrac: 0.7}
+	if _, err := SolvePriority([]*Participant{bad}, []int{0}, 10); err == nil {
+		t.Error("invalid participant accepted")
+	}
+}
+
+// When priorities correlate with sensitivity (sensitive apps prioritized),
+// priority capping beats EQL but not OPT.
+func TestPriorityCostBetweenEQLAndOPT(t *testing.T) {
+	ps := testPool(t) // XSBench, RSBench, SimpleMOC, CoMD, HPCCG, SWFFT
+	// Priorities by sensitivity: sensitive apps high.
+	prios := []int{2, 0, 3, 1, 0, 3} // XSBench 2, RSBench 0, SimpleMOC 3, CoMD 1, HPCCG 0, SWFFT 3
+	target := 3000.0
+	pri, err := SolvePriority(ps, prios, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eql, err := SolveEQL(ps, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := SolveOPT(ps, target, OPTDual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pri.TotalCost >= eql.TotalCost {
+		t.Errorf("sensitivity-aligned priorities should beat EQL: %v vs %v", pri.TotalCost, eql.TotalCost)
+	}
+	if pri.TotalCost < opt.TotalCost-1e-9 {
+		t.Errorf("priority capping beat OPT: %v vs %v", pri.TotalCost, opt.TotalCost)
+	}
+}

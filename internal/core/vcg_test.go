@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mpr/internal/perf"
+)
+
+func TestVCGMeetsTarget(t *testing.T) {
+	ps := testPool(t)
+	target := 4000.0
+	res, err := SolveVCG(ps, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("infeasible")
+	}
+	var supplied float64
+	for i, p := range ps {
+		supplied += p.WattsPerCore * res.Reductions[i]
+	}
+	if supplied < target-1e-4 {
+		t.Errorf("supplied %v < target %v", supplied, target)
+	}
+}
+
+// Individual rationality: every winner's payment covers its cost.
+func TestVCGIndividuallyRational(t *testing.T) {
+	ps := testPool(t)
+	res, err := SolveVCG(ps, 3500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		if res.Reductions[i] <= 1e-9 {
+			continue
+		}
+		cost := p.Cost(res.Reductions[i])
+		if res.Payments[i] < cost-1e-6 {
+			t.Errorf("%s: payment %v below cost %v", p.JobID, res.Payments[i], cost)
+		}
+	}
+}
+
+// Truthfulness: misreporting the cost (inflating or deflating α in the
+// revealed cost function) cannot increase a user's net utility, where
+// utility = payment − TRUE cost of the assigned reduction.
+func TestVCGTruthful(t *testing.T) {
+	build := func(alphaScale float64) []*Participant {
+		ps := testPool(t)
+		// Participant 0 (XSBench) misreports by scaling its revealed
+		// cost; its true cost stays α = 1.
+		prof, _ := perf.ProfileByName("XSBench")
+		model := perf.NewCostModelUnchecked(prof, alphaScale, perf.CostLinear)
+		cores := ps[0].Cores
+		ps[0].Cost = func(d float64) float64 { return cores * model.Cost(d/cores) }
+		ps[0].MarginalCost = func(d float64) float64 { return model.Marginal(d / cores) }
+		return ps
+	}
+	trueCost := func(d, cores float64) float64 {
+		prof, _ := perf.ProfileByName("XSBench")
+		model := perf.NewCostModel(prof, 1, perf.CostLinear)
+		return cores * model.Cost(d/cores)
+	}
+	const target = 3500.0
+	truthRes, err := SolveVCG(build(1), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthUtil := truthRes.Payments[0] - trueCost(truthRes.Reductions[0], 16)
+	for _, scale := range []float64{0.5, 1.5, 3} {
+		lieRes, err := SolveVCG(build(scale), target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lieUtil := lieRes.Payments[0] - trueCost(lieRes.Reductions[0], 16)
+		if lieUtil > truthUtil+1e-3 {
+			t.Errorf("misreport x%v increased utility: %v > %v", scale, lieUtil, truthUtil)
+		}
+	}
+}
+
+func TestVCGRequiresCosts(t *testing.T) {
+	p := &Participant{JobID: "x", Cores: 4, WattsPerCore: 125, MaxFrac: 0.7}
+	if _, err := SolveVCG([]*Participant{p}, 100); err == nil {
+		t.Error("missing cost functions accepted")
+	}
+}
+
+func TestVCGZeroTargetAndEmpty(t *testing.T) {
+	res, err := SolveVCG(nil, 0)
+	if err != nil || !res.Feasible {
+		t.Errorf("zero target: %v %+v", err, res)
+	}
+	if _, err := SolveVCG(nil, 10); err != ErrNoParticipants {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVCGPivotalParticipant(t *testing.T) {
+	// Two participants; the target needs both → each is pivotal.
+	ps := testPool(t)[:2]
+	var maxW float64
+	for _, p := range ps {
+		maxW += p.WattsPerCore * p.MaxFrac * p.Cores
+	}
+	target := 0.9 * maxW
+	res, err := SolveVCG(ps, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("pool should cover the target")
+	}
+	for i := range ps {
+		if !res.Pivotal[i] {
+			t.Errorf("participant %d should be pivotal", i)
+		}
+	}
+}
+
+func TestVCGLoneSupplier(t *testing.T) {
+	ps := testPool(t)[:1]
+	target := 0.5 * ps[0].WattsPerCore * ps[0].MaxFrac * ps[0].Cores
+	res, err := SolveVCG(ps, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pivotal[0] {
+		t.Error("lone supplier should be pivotal")
+	}
+	if math.Abs(res.Payments[0]-ps[0].Cost(res.Reductions[0])) > 1e-6 {
+		t.Errorf("lone supplier payment %v should equal cost %v",
+			res.Payments[0], ps[0].Cost(res.Reductions[0]))
+	}
+}
+
+// VCG pays at least as much as the market's clearing payout for the same
+// target — the price of exact efficiency + truthfulness.
+func TestVCGPaymentsVsMarket(t *testing.T) {
+	ps := testPool(t)
+	target := 3000.0
+	vcg, err := SolveVCG(ps, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vcg.TotalPaymentVCG() <= 0 {
+		t.Error("no VCG payments")
+	}
+	market, err := Clear(ps, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if market.PayoutRate <= 0 {
+		t.Error("no market payout")
+	}
+	// Both cover the same target; just sanity-check magnitudes are
+	// comparable (within 10x) rather than asserting a strict order,
+	// which depends on the bid curves.
+	ratio := vcg.TotalPaymentVCG() / market.PayoutRate
+	if ratio < 0.1 || ratio > 10 {
+		t.Errorf("VCG/market payment ratio %v wildly off", ratio)
+	}
+}

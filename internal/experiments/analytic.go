@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mpr/internal/core"
+	"mpr/internal/perf"
+	"mpr/internal/stats"
+	"mpr/internal/trace"
+)
+
+func init() {
+	register("t1", "Table I: capacity oversubscription benefits on Gaia", runTable1)
+	register("f1b", "Fig. 1(b): utilization CDFs of four HPC clusters", runFig1b)
+	register("f2", "Fig. 2: MPR's parameterized supply function", runFig2)
+	register("f3", "Fig. 3: XSBench performance, extra execution, and cost", runFig3)
+	register("f4", "Fig. 4: user bidding strategies vs the cost reference", runFig4)
+	register("f6", "Fig. 6: Gaia core allocation timeline", runFig6)
+	register("f7", "Fig. 7: performance/cost models and bidding references", runFig7)
+}
+
+// runTable1 reproduces Table I: the workload is scaled up proportionally
+// to the extra capacity and analyzed against the original peak power.
+func runTable1(o Options) (*Result, error) {
+	tr, err := gaiaTrace(o)
+	if err != nil {
+		return nil, err
+	}
+	const wattsPerCore = 150.0 // 25 static + 125 dynamic at full speed
+	peakW := float64(tr.PeakAllocation()) * wattsPerCore
+	capCores := peakW / wattsPerCore
+	hours := float64(tr.Span()) / 3600
+	months := hours / 720
+	if months <= 0 {
+		return nil, fmt.Errorf("experiments: empty Gaia trace")
+	}
+
+	tbl := stats.NewTable("Table I — capacity oversubscription in Gaia",
+		"Oversubscription", "Extra Capacity (core-h/month)", "Probability of Overload",
+		"Overload Time (h/month)", "Overloaded Capacity (core-h/month)", "Max Overload Payoff")
+	for _, x := range []float64{10, 15, 20, 25} {
+		scaled, err := tr.ScaleUp(1+x/100, o.seed())
+		if err != nil {
+			return nil, err
+		}
+		alloc := trace.AllocationSeries(scaled, 60)
+		overSlots := 0
+		var overCoreMin float64
+		for _, v := range alloc.V {
+			if v > capCores {
+				overSlots++
+				overCoreMin += v - capCores
+			}
+		}
+		extra := float64(tr.TotalCores) * x / 100 * 720
+		overProb := float64(overSlots) / float64(alloc.Len())
+		overHours := float64(overSlots) / 60 / months
+		overCapacity := overCoreMin / 60 / months
+		payoff := 0.0
+		if overCapacity > 0 {
+			payoff = extra / overCapacity
+		}
+		tbl.AddRow(fmt.Sprintf("%.0f%%", x), extra, fmt.Sprintf("%.2f%%", 100*overProb),
+			overHours, overCapacity, fmt.Sprintf("%.0fx", payoff))
+	}
+	return &Result{ID: "t1", Title: "Table I", Tables: []*stats.Table{tbl},
+		Notes: []string{fmt.Sprintf("synthetic Gaia trace: %d jobs over %.0f days, peak %d cores",
+			len(tr.Jobs), float64(tr.Span())/86400, tr.PeakAllocation())}}, nil
+}
+
+func runFig1b(o Options) (*Result, error) {
+	days := 30
+	if o.Quick {
+		days = 10
+	}
+	tbl := stats.NewTable("Fig. 1(b) — utilization CDFs",
+		"Cluster", "p10", "p25", "p50", "p75", "p90", "p95", "p99")
+	order := []string{"gaia", "metacentrum", "ricc", "pik"}
+	presets := trace.Presets(o.seed())
+	for _, name := range order {
+		cfg := presets[name].WithDays(days)
+		tr, err := cachedTrace(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cdf := trace.UtilizationCDF(tr, 300)
+		row := []interface{}{name}
+		for _, p := range []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99} {
+			row = append(row, cdf.Quantile(p))
+		}
+		tbl.AddRow(row...)
+	}
+	return &Result{ID: "f1b", Title: "Fig. 1(b)", Tables: []*stats.Table{tbl},
+		Notes: []string{"expected ordering: gaia most utilized, then metacentrum, ricc, pik"}}, nil
+}
+
+func runFig2(o Options) (*Result, error) {
+	tbl := stats.NewTable("Fig. 2 — supply function δ(q) = [Δ − b/q]+, Δ = 0.7",
+		"price q", "b=0.05", "b=0.10", "b=0.20", "b=0.40")
+	bids := []core.Bid{
+		{Delta: 0.7, B: 0.05}, {Delta: 0.7, B: 0.10},
+		{Delta: 0.7, B: 0.20}, {Delta: 0.7, B: 0.40},
+	}
+	for q := 0.1; q <= 2.001; q += 0.1 {
+		row := []interface{}{q}
+		for _, b := range bids {
+			row = append(row, b.Supply(q))
+		}
+		tbl.AddRow(row...)
+	}
+	return &Result{ID: "f2", Title: "Fig. 2", Tables: []*stats.Table{tbl}}, nil
+}
+
+func runFig3(o Options) (*Result, error) {
+	prof, err := perf.ProfileByName("XSBench")
+	if err != nil {
+		return nil, err
+	}
+	cm := perf.NewCostModel(prof, 1, perf.CostLinear)
+	tbl := stats.NewTable("Fig. 3 — XSBench under resource reduction (α = 1)",
+		"core allocation", "performance %", "extra execution", "cost")
+	for a := 1.0; a >= prof.MinAlloc-1e-9; a -= 0.1 {
+		d := 1 - a
+		tbl.AddRow(a, prof.Performance(a), prof.ExtraExecution(d), cm.Cost(d))
+	}
+	return &Result{ID: "f3", Title: "Fig. 3", Tables: []*stats.Table{tbl}}, nil
+}
+
+func runFig4(o Options) (*Result, error) {
+	prof, err := perf.ProfileByName("XSBench")
+	if err != nil {
+		return nil, err
+	}
+	cm := perf.NewCostModel(prof, 1, perf.CostLinear)
+	coop := core.CooperativeBid(1, cm)
+	cons := core.ConservativeBid(1, cm, 1.5)
+	def := core.DeficientBid(1, cm, 0.4)
+
+	tbl := stats.NewTable("Fig. 4(a) — static bidding strategies for XSBench (per core)",
+		"price q", "reference δ_ref", "cooperative", "conservative", "deficient")
+	for q := 0.1; q <= 2.001; q += 0.1 {
+		tbl.AddRow(q, cm.ReferenceReduction(q), coop.Supply(q), cons.Supply(q), def.Supply(q))
+	}
+
+	tbl2 := stats.NewTable("Fig. 4(b) — MPR-INT gain-maximizing bids for XSBench",
+		"clearing price q'", "optimal reduction δ*", "bid b")
+	rb := &core.RationalBidder{Cores: 1, Model: cm}
+	for _, q := range []float64{0.33, 0.66, 1.0} {
+		bid := rb.RespondBid(q)
+		tbl2.AddRow(q, bid.Supply(q), bid.B)
+	}
+	return &Result{ID: "f4", Title: "Fig. 4", Tables: []*stats.Table{tbl, tbl2},
+		Notes: []string{fmt.Sprintf("cooperative b = %.4f per core", coop.B)}}, nil
+}
+
+func runFig6(o Options) (*Result, error) {
+	tr, err := gaiaTrace(o)
+	if err != nil {
+		return nil, err
+	}
+	s := trace.AllocationSeries(tr, 60).Downsample(24)
+	tbl := stats.NewTable("Fig. 6 — Gaia core allocation (bucket means)", "minute", "cores")
+	for i := range s.T {
+		tbl.AddRow(s.T[i], s.V[i])
+	}
+	tbl.AddRow("peak", float64(tr.PeakAllocation()))
+	return &Result{ID: "f6", Title: "Fig. 6", Tables: []*stats.Table{tbl}}, nil
+}
+
+func runFig7(o Options) (*Result, error) {
+	perfTbl := stats.NewTable("Fig. 7(a) — performance vs core allocation (%)",
+		"app", "a=0.3", "a=0.4", "a=0.5", "a=0.6", "a=0.7", "a=0.8", "a=0.9", "a=1.0")
+	eeTbl := stats.NewTable("Fig. 7(b) — extra execution vs resource reduction",
+		"app", "δ=0.1", "δ=0.2", "δ=0.3", "δ=0.4", "δ=0.5", "δ=0.6", "δ=0.7")
+	costTbl := stats.NewTable("Fig. 7(c) — logarithmic cost fit a·log(b·x) − a",
+		"app", "fit a", "fit b", "cost(0.35)", "cost(0.7)")
+	refTbl := stats.NewTable("Fig. 7(d) — bidding reference δ_ref at price",
+		"app", "q=0.1", "q=0.25", "q=0.5", "q=1.0", "q=2.0")
+
+	for _, p := range perf.CPUProfiles() {
+		cm := perf.NewCostModel(p, 1, perf.CostLinear)
+		row := []interface{}{p.Name}
+		for _, a := range []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+			row = append(row, p.Performance(a))
+		}
+		perfTbl.AddRow(row...)
+
+		row = []interface{}{p.Name}
+		for _, d := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7} {
+			row = append(row, p.ExtraExecution(d))
+		}
+		eeTbl.AddRow(row...)
+
+		fit := perf.FitLogCost(cm, 20)
+		costTbl.AddRow(p.Name, fit.A, fit.B, fit.Eval(0.35), fit.Eval(0.7))
+
+		row = []interface{}{p.Name}
+		for _, q := range []float64{0.1, 0.25, 0.5, 1.0, 2.0} {
+			row = append(row, cm.ReferenceReduction(q))
+		}
+		refTbl.AddRow(row...)
+	}
+	return &Result{ID: "f7", Title: "Fig. 7",
+		Tables: []*stats.Table{perfTbl, eeTbl, costTbl, refTbl}}, nil
+}

@@ -1,0 +1,184 @@
+// Package experiments reproduces every table and figure of the MPR
+// paper's evaluation (plus the ablations called out in DESIGN.md §4). Each
+// experiment is a named runner producing printable tables; cmd/mprbench
+// regenerates any of them from the command line, bench_test.go wraps each
+// in a testing.B benchmark, and EXPERIMENTS.md records the outputs.
+//
+// The experiment IDs follow the paper: "t1" is Table I, "f8" is Fig. 8,
+// and so on; "a1".."a4" are the repository's design ablations.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mpr/internal/sim"
+	"mpr/internal/stats"
+	"mpr/internal/trace"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Seed drives every random choice; experiments are deterministic
+	// for a fixed seed.
+	Seed int64
+	// Quick trims trace lengths and sweep sizes so the full suite runs
+	// in seconds-to-minutes instead of tens of minutes. The full-scale
+	// runs reproduce the paper's setup (90-day Gaia horizon etc.).
+	Quick bool
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// gaiaDays returns the simulated horizon for Gaia-based experiments.
+func (o Options) gaiaDays() int {
+	if o.Quick {
+		return 14
+	}
+	return 92
+}
+
+// otherTraceDays returns the horizon for the PIK/RICC/Metacentrum study.
+// These clusters are large (RICC peaks above 20,000 cores), so their
+// horizons are shorter than Gaia's.
+func (o Options) otherTraceDays() int {
+	if o.Quick {
+		return 6
+	}
+	return 45
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	Notes  []string
+}
+
+// Experiment is a registered table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(Options) (*Result, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns the registered experiments in registration (paper) order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID looks an experiment up by its ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// --- shared trace and simulation caches -------------------------------
+
+var (
+	cacheMu    sync.Mutex
+	traceCache = map[string]*trace.Trace{}
+	simCache   = map[string]*sim.Result{}
+)
+
+// gaiaTrace builds (and caches) the Gaia workload for the options.
+func gaiaTrace(o Options) (*trace.Trace, error) {
+	return cachedTrace(trace.GaiaConfig(o.seed()).WithDays(o.gaiaDays()))
+}
+
+func cachedTrace(cfg trace.GenConfig) (*trace.Trace, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d", cfg.Name, cfg.Seed, cfg.Days, cfg.JobCount)
+	cacheMu.Lock()
+	tr, ok := traceCache[key]
+	cacheMu.Unlock()
+	if ok {
+		return tr, nil
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	traceCache[key] = tr
+	cacheMu.Unlock()
+	return tr, nil
+}
+
+// cachedRun executes (and caches) a simulation; figures 8, 9, and 11
+// share the same sweep.
+func cachedRun(cfg sim.Config, key string) (*sim.Result, error) {
+	cacheMu.Lock()
+	res, ok := simCache[key]
+	cacheMu.Unlock()
+	if ok {
+		return res, nil
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	simCache[key] = res
+	cacheMu.Unlock()
+	return res, nil
+}
+
+// ResetCaches clears the shared caches (used by benchmarks that want cold
+// runs).
+func ResetCaches() {
+	cacheMu.Lock()
+	traceCache = map[string]*trace.Trace{}
+	simCache = map[string]*sim.Result{}
+	cacheMu.Unlock()
+}
+
+// gaiaSweep runs (cached) Gaia simulations for the given oversubscription
+// levels and algorithms.
+func gaiaSweep(o Options, oversubs []float64, algos []sim.Algorithm) (map[float64]map[sim.Algorithm]*sim.Result, error) {
+	tr, err := gaiaTrace(o)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[float64]map[sim.Algorithm]*sim.Result)
+	for _, x := range oversubs {
+		out[x] = make(map[sim.Algorithm]*sim.Result)
+		for _, algo := range algos {
+			key := fmt.Sprintf("gaia/%d/%d/%.1f/%s", o.seed(), o.gaiaDays(), x, algo)
+			res, err := cachedRun(sim.Config{
+				Trace:      tr,
+				OversubPct: x,
+				Algorithm:  algo,
+				Seed:       o.seed(),
+			}, key)
+			if err != nil {
+				return nil, err
+			}
+			out[x][algo] = res
+		}
+	}
+	return out, nil
+}

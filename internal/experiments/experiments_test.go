@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var quickOpts = Options{Seed: 1, Quick: true}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"t1", "f1b", "f2", "f3", "f4", "f6", "f7", "f8", "f9",
+		"f10", "f11", "f12", "f13", "f14", "f15", "f16", "f17",
+		"a1", "a2", "a3", "a4", "a5", "a6", "x1", "x2", "x3", "x4", "x5", "x6", "x7"}
+	have := map[string]bool{}
+	for _, e := range All() {
+		have[e.ID] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("f8")
+	if err != nil || e.ID != "f8" {
+		t.Errorf("ByID(f8) = %+v, %v", e, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// Every experiment must run in quick mode and produce non-empty tables.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(quickOpts)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s: no tables", e.ID)
+			}
+			for _, tb := range res.Tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("%s: table %q empty", e.ID, tb.Title)
+				}
+				if out := tb.String(); !strings.Contains(out, tb.Headers[0]) {
+					t.Errorf("%s: table render broken", e.ID)
+				}
+			}
+		})
+	}
+}
+
+// parseCell converts a table cell (possibly with % or x suffix) to float.
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+// Table I shape: extra capacity dwarfs overloaded capacity, and the
+// payoff shrinks as oversubscription grows.
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := runTable1(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Tables[0]
+	prevPayoff := 1e18
+	for _, row := range tbl.Rows {
+		extra := parseCell(t, row[1])
+		overCap := parseCell(t, row[4])
+		payoff := parseCell(t, row[5])
+		if overCap > 0 && extra/overCap < 3 {
+			t.Errorf("%s: extra %.0f vs overloaded %.0f — benefit shape broken", row[0], extra, overCap)
+		}
+		if payoff > prevPayoff {
+			t.Errorf("payoff grew with oversubscription at %s", row[0])
+		}
+		prevPayoff = payoff
+	}
+}
+
+// Fig. 9(a) shape: EQL is the most expensive algorithm at 15-20%.
+func TestFig9CostShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := runFig9(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := res.Tables[0] // rows: oversub, OPT, EQL, MPR-STAT, MPR-INT
+	for _, row := range cost.Rows {
+		if row[0] != "15%" && row[0] != "20%" {
+			continue
+		}
+		opt := parseCell(t, row[1])
+		eql := parseCell(t, row[2])
+		intr := parseCell(t, row[4])
+		if opt <= 0 {
+			t.Fatalf("%s: OPT cost %v — no overloads in quick trace", row[0], opt)
+		}
+		if eql < opt {
+			t.Errorf("%s: EQL %.1f below OPT %.1f", row[0], eql, opt)
+		}
+		if intr > 1.7*opt {
+			t.Errorf("%s: MPR-INT %.1f far above OPT %.1f", row[0], intr, opt)
+		}
+	}
+}
+
+// Fig. 10 shape: MPR-STAT stays fast and MPR-INT iterations stay flat as
+// the pool grows.
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := runFig10(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeTbl, iterTbl := res.Tables[0], res.Tables[1]
+	last := timeTbl.Rows[len(timeTbl.Rows)-1]
+	statMS := parseCell(t, last[1])
+	optMS := parseCell(t, last[3])
+	if statMS > 1000 {
+		t.Errorf("MPR-STAT took %.1f ms at the largest pool, want sub-second", statMS)
+	}
+	if optMS < statMS {
+		t.Errorf("generic OPT (%.2f ms) beat MPR-STAT (%.2f ms) — scalability story broken", optMS, statMS)
+	}
+	first := parseCell(t, iterTbl.Rows[0][1])
+	lastIter := parseCell(t, iterTbl.Rows[len(iterTbl.Rows)-1][1])
+	if lastIter > 3*first+5 {
+		t.Errorf("MPR-INT iterations grew: %v → %v", first, lastIter)
+	}
+}
+
+// Fig. 11 shape: rewards exceed 100% of cost; manager gain ratios are
+// large.
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := runFig11(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reward := res.Tables[0]
+	for _, row := range reward.Rows {
+		for _, cell := range row[1:] {
+			if v := parseCell(t, cell); v <= 100 {
+				t.Errorf("reward %s at %s not above 100%%", cell, row[0])
+			}
+		}
+	}
+	gain := res.Tables[1]
+	for _, row := range gain.Rows {
+		for _, cell := range row[4:] {
+			if v := parseCell(t, cell); v < 5 {
+				t.Errorf("gain ratio %s at %s below 5x", cell, row[0])
+			}
+		}
+	}
+}
+
+// Fig. 17 shape: MPR eliminates nearly all overload seconds.
+func TestFig17Shape(t *testing.T) {
+	res, err := runFig17(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary := res.Tables[2]
+	withoutOver := parseCell(t, summary.Rows[0][2])
+	withOver := parseCell(t, summary.Rows[1][2])
+	if withOver >= withoutOver/2 {
+		t.Errorf("MPR overload seconds %v vs without %v — handling ineffective", withOver, withoutOver)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mpr/internal/core"
+	"mpr/internal/perf"
+	"mpr/internal/stats"
+)
+
+func init() {
+	register("f10", "Fig. 10: solution time and iterations vs active jobs", runFig10)
+}
+
+// syntheticPool builds n market participants with random application
+// profiles and core counts — the varying-active-jobs instances of the
+// scalability study.
+func syntheticPool(n int, seed int64) ([]*core.Participant, []core.Bidder) {
+	rng := rand.New(rand.NewSource(seed))
+	profiles := perf.CPUProfiles()
+	parts := make([]*core.Participant, n)
+	bidders := make([]core.Bidder, n)
+	for i := 0; i < n; i++ {
+		prof := profiles[rng.Intn(len(profiles))]
+		cores := float64(int(1) << rng.Intn(6))
+		model := perf.NewCostModel(prof, 1, perf.CostLinear)
+		c := cores
+		parts[i] = &core.Participant{
+			JobID:        fmt.Sprintf("job%d", i),
+			Cores:        cores,
+			Bid:          core.CooperativeBid(cores, model),
+			WattsPerCore: 125,
+			MaxFrac:      prof.MaxReduction(),
+			Cost:         func(d float64) float64 { return c * model.Cost(d/c) },
+			MarginalCost: func(d float64) float64 { return model.Marginal(d / c) },
+		}
+		bidders[i] = &core.RationalBidder{Cores: cores, Model: model}
+	}
+	return parts, bidders
+}
+
+func poolTarget(parts []*core.Participant) float64 {
+	var maxW float64
+	for _, p := range parts {
+		maxW += p.WattsPerCore * p.MaxFrac * p.Cores
+	}
+	return 0.4 * maxW
+}
+
+func runFig10(o Options) (*Result, error) {
+	sizes := []int{10, 100, 1000, 10000, 30000}
+	if o.Quick {
+		sizes = []int{10, 100, 1000, 3000}
+	}
+	// The paper charges 500 ms of communication per MPR-INT round.
+	const commPerRound = 500 * time.Millisecond
+
+	timeTbl := stats.NewTable("Fig. 10(a) — solution time vs number of active jobs",
+		"jobs", "MPR-STAT (ms)", "EQL (ms)", "OPT generic (ms)", "OPT dual (ms)",
+		"MPR-INT compute (ms)", "MPR-INT with comm (s)")
+	iterTbl := stats.NewTable("Fig. 10(b) — MPR-INT iterations to clear",
+		"jobs", "rounds", "converged")
+
+	for _, n := range sizes {
+		parts, bidders := syntheticPool(n, o.seed())
+		target := poolTarget(parts)
+
+		t0 := time.Now()
+		if _, err := core.Clear(parts, target); err != nil {
+			return nil, err
+		}
+		statMS := time.Since(t0).Seconds() * 1000
+
+		t0 = time.Now()
+		if _, err := core.SolveEQL(parts, target); err != nil {
+			return nil, err
+		}
+		eqlMS := time.Since(t0).Seconds() * 1000
+
+		t0 = time.Now()
+		if _, err := core.SolveOPT(parts, target, core.OPTGeneric); err != nil {
+			return nil, err
+		}
+		optMS := time.Since(t0).Seconds() * 1000
+
+		t0 = time.Now()
+		if _, err := core.SolveOPT(parts, target, core.OPTDual); err != nil {
+			return nil, err
+		}
+		dualMS := time.Since(t0).Seconds() * 1000
+
+		t0 = time.Now()
+		intRes, err := core.ClearInteractive(parts, bidders, target, core.InteractiveConfig{})
+		if err != nil {
+			return nil, err
+		}
+		intMS := time.Since(t0).Seconds() * 1000
+		intTotal := time.Duration(intMS*float64(time.Millisecond)) + time.Duration(intRes.Rounds)*commPerRound
+
+		timeTbl.AddRow(n, statMS, eqlMS, optMS, dualMS, intMS, intTotal.Seconds())
+		iterTbl.AddRow(n, intRes.Rounds, intRes.Converged)
+	}
+	return &Result{ID: "f10", Title: "Fig. 10", Tables: []*stats.Table{timeTbl, iterTbl},
+		Notes: []string{"MPR-INT total time charges 500 ms of communication per round, as in the paper"}}, nil
+}

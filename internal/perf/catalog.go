@@ -1,0 +1,76 @@
+package perf
+
+import "fmt"
+
+// The profiled applications of the paper's evaluation. Sensitivities are
+// calibrated so each curve passes through the lowest-allocation performance
+// point digitized from Fig. 7(a) (CPU, performance at allocation 0.3) and
+// Fig. 15(a) (GPU, performance at allocation 0.4):
+//
+//	CPU @0.3: SimpleMOC 30%, SWFFT 33%, miniMD 36%, XSBench 40%,
+//	          CoMD 52%, miniFE 55%, HPCCG 62%, RSBench 70%
+//	GPU @0.4: Jacobi 20%, TeaLeaf 25%, BT-1070 50%, GEMM-1070 55%,
+//	          BT-2080 58%, GEMM-2080 60%
+//
+// Solving 100·a/(a+s(1−a)) = perf for s gives the values below. The
+// ordering (SimpleMOC most sensitive … RSBench least; Jacobi/TeaLeaf
+// collapsing hardest on GPU) matches the paper's discussion.
+var catalog = []Profile{
+	// --- CPU applications (Fig. 7(a)), Δ = 0.7 ---
+	{Name: "SimpleMOC", Device: DeviceCPU, Sens: 1.000, MinAlloc: 0.3},
+	{Name: "SWFFT", Device: DeviceCPU, Sens: 0.870, MinAlloc: 0.3},
+	{Name: "miniMD", Device: DeviceCPU, Sens: 0.762, MinAlloc: 0.3},
+	{Name: "XSBench", Device: DeviceCPU, Sens: 0.643, MinAlloc: 0.3},
+	{Name: "CoMD", Device: DeviceCPU, Sens: 0.396, MinAlloc: 0.3},
+	{Name: "miniFE", Device: DeviceCPU, Sens: 0.351, MinAlloc: 0.3},
+	{Name: "HPCCG", Device: DeviceCPU, Sens: 0.263, MinAlloc: 0.3},
+	{Name: "RSBench", Device: DeviceCPU, Sens: 0.184, MinAlloc: 0.3},
+
+	// --- GPU applications (Fig. 15(a)), Δ = 0.6 except the P40 pair ---
+	// The P40 applications keep their steep sensitivity but support only
+	// a narrow power-capping range (MinAlloc 0.8): PowerCoord [5]
+	// reports a limited capping window on the P40, and this is what
+	// makes the equal-slowdown baseline infeasible at 20%
+	// oversubscription in Fig. 15(b) — EQL cannot slow every core
+	// further than the most constrained application allows.
+	{Name: "Jacobi", Device: DeviceGPUP40, Sens: 2.667, MinAlloc: 0.8},
+	{Name: "TeaLeaf", Device: DeviceGPUP40, Sens: 2.000, MinAlloc: 0.8},
+	{Name: "BT-1070", Device: DeviceGPU1070, Sens: 0.667, MinAlloc: 0.4},
+	{Name: "GEMM-1070", Device: DeviceGPU1070, Sens: 0.545, MinAlloc: 0.4},
+	{Name: "BT-2080", Device: DeviceGPU2080, Sens: 0.483, MinAlloc: 0.4},
+	{Name: "GEMM-2080", Device: DeviceGPU2080, Sens: 0.444, MinAlloc: 0.4},
+}
+
+// CPUProfiles returns the paper's eight CPU application profiles in
+// sensitivity order (most sensitive first), as plotted in Fig. 7.
+func CPUProfiles() []*Profile {
+	return selectProfiles(func(p *Profile) bool { return p.Device == DeviceCPU })
+}
+
+// GPUProfiles returns the six GPU application profiles of Fig. 15(a).
+func GPUProfiles() []*Profile {
+	return selectProfiles(func(p *Profile) bool { return p.Device != DeviceCPU })
+}
+
+// AllProfiles returns all fourteen application profiles.
+func AllProfiles() []*Profile { return selectProfiles(func(*Profile) bool { return true }) }
+
+func selectProfiles(keep func(*Profile) bool) []*Profile {
+	var out []*Profile
+	for i := range catalog {
+		if keep(&catalog[i]) {
+			out = append(out, &catalog[i])
+		}
+	}
+	return out
+}
+
+// ProfileByName looks up a profile by application name.
+func ProfileByName(name string) (*Profile, error) {
+	for i := range catalog {
+		if catalog[i].Name == name {
+			return &catalog[i], nil
+		}
+	}
+	return nil, fmt.Errorf("perf: unknown application profile %q", name)
+}

@@ -1,0 +1,169 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ComponentKind identifies a level of the HPC power hierarchy (Fig. 1(a)).
+type ComponentKind string
+
+// The hierarchy levels of Fig. 1(a).
+const (
+	KindATS  ComponentKind = "ATS"
+	KindUPS  ComponentKind = "UPS"
+	KindPDU  ComponentKind = "PDU"
+	KindRack ComponentKind = "Rack"
+)
+
+// Component is a node of the power delivery tree. Power is drawn at leaf
+// components (racks) and aggregates upward; every level has its own
+// capacity and can be oversubscribed independently (Section II — the paper
+// focuses on UPS-level oversubscription with adequately sized PDUs and
+// racks, which NewUniformInfrastructure reproduces).
+type Component struct {
+	Name      string
+	Kind      ComponentKind
+	CapacityW float64
+	Children  []*Component
+
+	load float64
+}
+
+// Infrastructure is a power delivery tree with a single root (the ATS).
+type Infrastructure struct {
+	Root  *Component
+	leafs map[string]*Component
+}
+
+// NewInfrastructure wraps a component tree and indexes its leaves.
+func NewInfrastructure(root *Component) (*Infrastructure, error) {
+	if root == nil {
+		return nil, fmt.Errorf("power: nil infrastructure root")
+	}
+	inf := &Infrastructure{Root: root, leafs: make(map[string]*Component)}
+	var walk func(c *Component) error
+	seen := make(map[string]bool)
+	walk = func(c *Component) error {
+		if seen[c.Name] {
+			return fmt.Errorf("power: duplicate component name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.CapacityW <= 0 {
+			return fmt.Errorf("power: component %q has non-positive capacity", c.Name)
+		}
+		if len(c.Children) == 0 {
+			inf.leafs[c.Name] = c
+			return nil
+		}
+		for _, ch := range c.Children {
+			if err := walk(ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	return inf, nil
+}
+
+// NewUniformInfrastructure builds the paper's topology: one ATS feeding
+// one UPS, the UPS feeding `pdus` cluster PDUs, each feeding
+// `racksPerPDU` racks. The UPS capacity is `upsCapacityW` — the
+// oversubscribed level — while PDUs and racks get headroom (factor 2) so
+// that, as in the paper, only the UPS constraint binds.
+func NewUniformInfrastructure(upsCapacityW float64, pdus, racksPerPDU int) (*Infrastructure, error) {
+	if pdus < 1 || racksPerPDU < 1 {
+		return nil, fmt.Errorf("power: need at least one PDU and one rack, got %d/%d", pdus, racksPerPDU)
+	}
+	ups := &Component{Name: "ups0", Kind: KindUPS, CapacityW: upsCapacityW}
+	pduCap := 2 * upsCapacityW / float64(pdus)
+	rackCap := 2 * pduCap / float64(racksPerPDU)
+	for p := 0; p < pdus; p++ {
+		pdu := &Component{Name: fmt.Sprintf("pdu%d", p), Kind: KindPDU, CapacityW: pduCap}
+		for r := 0; r < racksPerPDU; r++ {
+			pdu.Children = append(pdu.Children, &Component{
+				Name:      fmt.Sprintf("rack%d-%d", p, r),
+				Kind:      KindRack,
+				CapacityW: rackCap,
+			})
+		}
+		ups.Children = append(ups.Children, pdu)
+	}
+	ats := &Component{Name: "ats", Kind: KindATS, CapacityW: 2 * upsCapacityW, Children: []*Component{ups}}
+	return NewInfrastructure(ats)
+}
+
+// Leaves returns the leaf component names in sorted order.
+func (inf *Infrastructure) Leaves() []string {
+	out := make([]string, 0, len(inf.leafs))
+	for name := range inf.leafs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetLoad assigns a power draw in watts to a leaf component.
+func (inf *Infrastructure) SetLoad(leaf string, watts float64) error {
+	c, ok := inf.leafs[leaf]
+	if !ok {
+		return fmt.Errorf("power: unknown leaf component %q", leaf)
+	}
+	if watts < 0 {
+		return fmt.Errorf("power: negative load %v for %q", watts, leaf)
+	}
+	c.load = watts
+	return nil
+}
+
+// SpreadLoad distributes a total power draw evenly over all leaves — the
+// unified aggregate model of Section III-A.
+func (inf *Infrastructure) SpreadLoad(totalWatts float64) {
+	if len(inf.leafs) == 0 {
+		return
+	}
+	per := totalWatts / float64(len(inf.leafs))
+	for _, c := range inf.leafs {
+		c.load = per
+	}
+}
+
+// Overload reports a component whose aggregated draw exceeds its capacity.
+type Overload struct {
+	Component string
+	Kind      ComponentKind
+	LoadW     float64
+	CapacityW float64
+}
+
+// ExcessW returns how many watts above capacity the component is.
+func (o Overload) ExcessW() float64 { return o.LoadW - o.CapacityW }
+
+// Evaluate aggregates leaf loads up the tree and returns every overloaded
+// component, ordered root-first. The root's aggregate load is also
+// returned.
+func (inf *Infrastructure) Evaluate() (totalW float64, overloads []Overload) {
+	var agg func(c *Component) float64
+	agg = func(c *Component) float64 {
+		load := c.load
+		for _, ch := range c.Children {
+			load += agg(ch)
+		}
+		if load > c.CapacityW {
+			overloads = append(overloads, Overload{
+				Component: c.Name, Kind: c.Kind, LoadW: load, CapacityW: c.CapacityW,
+			})
+		}
+		return load
+	}
+	totalW = agg(inf.Root)
+	// agg appends children before parents (post-order); reverse to get
+	// root-first ordering.
+	for i, j := 0, len(overloads)-1; i < j; i, j = i+1, j-1 {
+		overloads[i], overloads[j] = overloads[j], overloads[i]
+	}
+	return totalW, overloads
+}

@@ -1,0 +1,563 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mpr/internal/core"
+	"mpr/internal/forecast"
+	"mpr/internal/perf"
+	"mpr/internal/power"
+	"mpr/internal/sched"
+	"mpr/internal/stats"
+)
+
+// simJob is the engine's per-job state.
+type simJob struct {
+	id      int
+	cores   int
+	profile *perf.Profile
+	// trueModel prices the user's actual cost; bidModel is the possibly
+	// perturbed model used for bidding (Fig. 13 error studies).
+	trueModel *perf.CostModel
+	bidModel  *perf.CostModel
+	power     power.CoreModel
+	// staticBid is the precomputed MPR-STAT bid.
+	staticBid    core.Bid
+	participates bool
+
+	submitSlot   int
+	remainingMin float64
+	origMin      float64
+
+	running   bool
+	done      bool
+	affected  bool
+	alloc     float64 // per-core allocation knob, 1 = full speed
+	startSlot int
+	endSlot   int
+
+	// phaseOffset randomizes the job's power-phase position when
+	// Config.PhaseAmp > 0.
+	phaseOffset float64
+}
+
+// Run executes the simulation and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	jobs := buildJobs(&cfg, rng)
+	peakW := peakPower(jobs)
+	capW := power.Oversubscription{PeakW: peakW, Percent: cfg.OversubPct}.Capacity()
+	if cfg.CapacityOverrideW > 0 {
+		capW = cfg.CapacityOverrideW
+	}
+
+	ec, err := power.NewEmergencyController(power.EmergencyConfig{
+		CapacityW:        capW,
+		BufferFrac:       cfg.BufferFrac,
+		MinOverloadSlots: cfg.MinOverloadSlots,
+		CooldownSlots:    cfg.CooldownSlots,
+	})
+	if err != nil {
+		return nil, err
+	}
+	scheduler, err := sched.New(cfg.Trace.TotalCores, cfg.Backfill)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Algorithm:  cfg.Algorithm,
+		TraceName:  cfg.Trace.Name,
+		OversubPct: cfg.OversubPct,
+		CapacityW:  capW,
+		PeakW:      peakW,
+		JobsTotal:  len(jobs),
+		PerProfile: make(map[string]*ProfileStats),
+	}
+	for _, j := range jobs {
+		ps := res.PerProfile[j.profile.Name]
+		if ps == nil {
+			ps = &ProfileStats{}
+			res.PerProfile[j.profile.Name] = ps
+		}
+		ps.Jobs++
+	}
+
+	// Horizon: last submit plus generous drain time.
+	lastSubmit := 0
+	var totalMin float64
+	for _, j := range jobs {
+		if j.submitSlot > lastSubmit {
+			lastSubmit = j.submitSlot
+		}
+		totalMin += j.origMin
+	}
+	horizon := lastSubmit + int(totalMin/float64(cfg.Trace.TotalCores)) + 10*24*60
+
+	byID := make(map[int]*simJob, len(jobs))
+	arrivals := make(map[int][]*simJob)
+	for _, j := range jobs {
+		byID[j.id] = j
+		arrivals[j.submitSlot] = append(arrivals[j.submitSlot], j)
+	}
+
+	var (
+		active         []*simJob
+		emergency      bool
+		price          float64
+		totalRounds    int
+		sumPrice       float64
+		demandSeries   stats.Series
+		deliverSeries  stats.Series
+		baseCapCores   = float64(cfg.Trace.TotalCores) / (1 + cfg.OversubPct/100)
+		remainingStart = len(jobs)
+
+		// Delayed reduction orders (MarketDelaySlots): allocations
+		// computed at declare time but applied later.
+		pendingAllocs  map[int]float64
+		pendingApplyAt int
+	)
+	var fc *forecast.Forecaster
+	if cfg.Predictive {
+		// Reactive smoothing: overload anticipation needs the trend to
+		// catch demand ramps within a few slots, so level and trend
+		// react much faster than a long-horizon forecaster would.
+		fc, err = forecast.New(forecast.Config{
+			LevelAlpha: 0.5,
+			TrendBeta:  0.35,
+			Phi:        0.95,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for slot := 0; slot <= horizon && (remainingStart > 0 || len(active) > 0); slot++ {
+		// 1. Finish jobs that completed their work (compacting the
+		// active list in place, preserving deterministic order).
+		keep := active[:0]
+		for _, j := range active {
+			if j.remainingMin <= 1e-9 {
+				j.running = false
+				j.done = true
+				j.endSlot = slot
+				if err := scheduler.Finish(j.id); err != nil {
+					return nil, err
+				}
+				res.JobsCompleted++
+				continue
+			}
+			keep = append(keep, j)
+		}
+		active = keep
+
+		// 2. Admit arrivals and start queued jobs. Predictive mode adds
+		// admission headroom gating: overloads in this system are mostly
+		// caused by job starts — discrete power steps the manager
+		// controls — so near capacity the manager defers admissions
+		// until power recedes, preventing the breach instead of reacting
+		// to it (the strongest form of Section III-D's early
+		// invocation).
+		for _, j := range arrivals[slot] {
+			if err := scheduler.Submit(sched.Request{
+				ID: j.id, Cores: j.cores, EstRuntime: int64(math.Ceil(j.origMin)),
+			}); err != nil {
+				return nil, err
+			}
+			remainingStart--
+		}
+		startBudget := cfg.Trace.TotalCores
+		if cfg.Predictive && ec.State() == power.StateNormal {
+			var runDemand float64
+			maxWPC := cfg.CoreModel.StaticW + cfg.CoreModel.DynamicW
+			for _, j := range active {
+				runDemand += j.power.JobPower(float64(j.cores), 1)
+				if w := j.power.StaticW + j.power.DynamicW; w > maxWPC {
+					maxWPC = w
+				}
+			}
+			headroomW := 0.99*capW - runDemand
+			if headroomW < 0 {
+				headroomW = 0
+			}
+			startBudget = int(headroomW / maxWPC)
+		}
+		for _, req := range scheduler.TryStartBudget(int64(slot), startBudget) {
+			j := byID[req.ID]
+			j.running = true
+			j.startSlot = slot
+			j.alloc = 1
+			active = append(active, j)
+		}
+
+		// 3. Apply any reduction orders whose market delay has elapsed,
+		// then account power.
+		if pendingAllocs != nil && slot >= pendingApplyAt {
+			for _, j := range active {
+				if a, ok := pendingAllocs[j.id]; ok {
+					j.alloc = a
+					if speed := j.profile.Speed(a); speed > 0 {
+						scheduler.ExtendRuntime(j.id, int64(slot)+int64(math.Ceil(j.remainingMin/speed)))
+					}
+				}
+			}
+			pendingAllocs = nil
+		}
+		var demandW, deliveredW float64
+		if cfg.PhaseAmp > 0 {
+			// Per-job power phases modulate the dynamic component.
+			omega := 2 * math.Pi / float64(cfg.PhasePeriodSlots)
+			for _, j := range active {
+				factor := 1 + cfg.PhaseAmp*math.Sin(omega*float64(slot)+j.phaseOffset)
+				static := float64(j.cores) * j.power.StaticW
+				dyn := float64(j.cores) * j.power.DynamicW * factor
+				demandW += static + dyn
+				deliveredW += static + j.alloc*dyn
+			}
+		} else {
+			for _, j := range active {
+				demandW += j.power.JobPower(float64(j.cores), 1)
+				deliveredW += j.power.JobPower(float64(j.cores), j.alloc)
+			}
+		}
+
+		// 4. Emergency control. In predictive mode the controller sees
+		// the worst forecast over the look-ahead window, so the market
+		// clears before the breach (Section III-D).
+		effDemand, effDelivered := demandW, deliveredW
+		if fc != nil {
+			fc.Observe(demandW)
+			// Forecasts drive the *declaration* only: during an active
+			// emergency the measured power governs raises and lifting,
+			// otherwise forecast-escalated targets block the lift
+			// condition and stall admissions.
+			st := ec.State()
+			// Proximity gate: anticipation only matters when demand is
+			// already close to the capacity — declaring from forecasts
+			// far below it is all false positives (the reductions
+			// stretch jobs, keep demand high, and feed back into yet
+			// more emergencies).
+			nearCapacity := demandW > 0.985*capW
+			if fc.Ready() && nearCapacity && (st == power.StateNormal || st == power.StatePending) {
+				// Anticipated demand: the point forecast, but at least a
+				// 3% margin over the current draw — once the system is
+				// this close to capacity, the reduction order must cover
+				// the typical breach depth or the raise at the actual
+				// breach pays the market delay a second time.
+				fDemand := math.Max(fc.PredictMax(cfg.PredictHorizonSlots), 1.03*demandW)
+				// Clamp: demand moves by job arrivals and phases — a few
+				// percent over a few minutes — and the implied target
+				// must stay within what the active jobs can possibly
+				// supply, or the emergency could never meet its own lift
+				// condition.
+				if limit := 1.08 * demandW; fDemand > limit {
+					fDemand = limit
+				}
+				var maxSupplyW float64
+				for _, j := range active {
+					maxSupplyW += float64(j.cores) * j.profile.MaxReduction() * j.power.DynamicW
+				}
+				if limit := 0.99*capW + 0.9*maxSupplyW; fDemand > limit {
+					fDemand = limit
+				}
+				if fDemand > effDemand {
+					effDemand = fDemand
+					// Future delivered power ≈ future demand minus the
+					// reduction currently in force.
+					if fDeliver := fDemand - (demandW - deliveredW); fDeliver > effDelivered {
+						effDelivered = fDeliver
+					}
+				}
+			}
+		}
+		d := ec.Step(effDemand, effDelivered)
+		switch {
+		case d.Declare || d.Raise:
+			if d.Declare {
+				res.EmergencyCount++
+			}
+			emergency = true
+			scheduler.Halt(true)
+			if cfg.Algorithm != AlgNone {
+				rounds, clearPrice, feasible, allocs, err := computeReduction(&cfg, active, d.TargetW)
+				if err != nil {
+					return nil, err
+				}
+				res.MarketInvocations++
+				totalRounds += rounds
+				sumPrice += clearPrice
+				price = clearPrice
+				if !feasible {
+					res.InfeasibleEvents++
+				}
+				if cfg.MarketDelaySlots == 0 {
+					for _, j := range active {
+						if a, ok := allocs[j.id]; ok {
+							j.alloc = a
+							if speed := j.profile.Speed(a); speed > 0 {
+								scheduler.ExtendRuntime(j.id, int64(slot)+int64(math.Ceil(j.remainingMin/speed)))
+							}
+						}
+					}
+				} else {
+					// A raise supersedes the in-flight order's content
+					// but must not postpone its delivery — the
+					// communication is already under way.
+					applyAt := slot + cfg.MarketDelaySlots
+					if pendingAllocs != nil && pendingApplyAt < applyAt {
+						applyAt = pendingApplyAt
+					}
+					pendingAllocs = allocs
+					pendingApplyAt = applyAt
+				}
+			}
+		case d.Lift:
+			emergency = false
+			price = 0
+			pendingAllocs = nil
+			scheduler.Halt(false)
+			for _, j := range active {
+				j.alloc = 1
+			}
+		}
+
+		// 5. Per-slot statistics.
+		if deliveredW > capW {
+			res.OverloadSlots++
+		}
+		if emergency {
+			res.EmergencySlots++
+			for _, j := range active {
+				j.affected = true
+				if j.alloc < 1 {
+					x := 1 - j.alloc
+					deltaCores := x * float64(j.cores)
+					cost := float64(j.cores) * j.trueModel.Cost(x) / 60
+					pay := price * deltaCores / 60
+					res.ReductionCoreH += deltaCores / 60
+					res.CostCoreH += cost
+					if cfg.Algorithm == AlgMPRStat || cfg.Algorithm == AlgMPRInt {
+						res.PaymentCoreH += pay
+					}
+					ps := res.PerProfile[j.profile.Name]
+					ps.ReductionCoreH += deltaCores / 60
+					ps.CostCoreH += cost
+					if cfg.Algorithm == AlgMPRStat || cfg.Algorithm == AlgMPRInt {
+						ps.PaymentCoreH += pay
+					}
+				}
+			}
+		}
+		var activeCores float64
+		for _, j := range active {
+			activeCores += float64(j.cores)
+		}
+		if activeCores > baseCapCores {
+			res.UsedExtraCoreH += (activeCores - baseCapCores) / 60
+		}
+		if cfg.RecordSeries > 0 {
+			demandSeries.Append(int64(slot), demandW)
+			deliverSeries.Append(int64(slot), deliveredW)
+		}
+
+		// 6. Progress work.
+		for _, j := range active {
+			j.remainingMin -= j.profile.Speed(j.alloc)
+		}
+		res.Slots = slot + 1
+	}
+
+	// Final statistics.
+	res.ExtraCapacityCoreH = float64(cfg.Trace.TotalCores) * (cfg.OversubPct / (100 + cfg.OversubPct)) * float64(res.Slots) / 60
+	var incSum float64
+	var incN int
+	var waitSum float64
+	var waitN int
+	for _, j := range jobs {
+		if j.done && j.affected && j.origMin > 0 {
+			actual := float64(j.endSlot - j.startSlot)
+			incSum += (actual - j.origMin) / j.origMin
+			incN++
+		}
+		if j.done || j.running {
+			waitSum += float64(j.startSlot - j.submitSlot)
+			waitN++
+		}
+	}
+	if incN > 0 {
+		res.MeanRuntimeIncrease = incSum / float64(incN)
+	}
+	if waitN > 0 {
+		res.MeanQueueWaitMin = waitSum / float64(waitN)
+	}
+	for _, j := range jobs {
+		if j.affected {
+			res.JobsAffected++
+		}
+	}
+	if res.MarketInvocations > 0 {
+		res.MeanRounds = float64(totalRounds) / float64(res.MarketInvocations)
+		res.MeanClearingPrice = sumPrice / float64(res.MarketInvocations)
+	}
+	if cfg.RecordSeries > 0 {
+		res.DemandSeries = demandSeries.Downsample(cfg.RecordSeries)
+		res.DeliveredSeries = deliverSeries.Downsample(cfg.RecordSeries)
+	}
+	return res, nil
+}
+
+// buildJobs assigns application profiles, cost models, participation, and
+// static bids to the trace's jobs.
+func buildJobs(cfg *Config, rng *rand.Rand) []*simJob {
+	jobs := make([]*simJob, 0, len(cfg.Trace.Jobs))
+	for _, tj := range cfg.Trace.Jobs {
+		prof := cfg.Profiles[rng.Intn(len(cfg.Profiles))]
+		trueModel := perf.NewCostModel(prof, cfg.Alpha, cfg.CostShape)
+		// Bidding-side cost perturbation: linear-in-α scaling captures
+		// both random error and systematic underestimation.
+		bidAlpha := cfg.Alpha
+		if cfg.CostErrorRand > 0 {
+			bidAlpha *= 1 + cfg.CostErrorRand*(2*rng.Float64()-1)
+		}
+		if cfg.CostErrorUnder > 0 {
+			bidAlpha *= 1 - cfg.CostErrorUnder
+		}
+		bidModel := perf.NewCostModelUnchecked(prof, bidAlpha, cfg.CostShape)
+		j := &simJob{
+			id:           tj.ID,
+			cores:        tj.Cores,
+			profile:      prof,
+			trueModel:    trueModel,
+			bidModel:     bidModel,
+			power:        cfg.coreModelFor(prof.Name),
+			participates: rng.Float64() < cfg.Participation,
+			submitSlot:   int(tj.Start() / 60),
+			remainingMin: float64(tj.Runtime) / 60,
+			origMin:      float64(tj.Runtime) / 60,
+			alloc:        1,
+			phaseOffset:  rng.Float64() * 2 * math.Pi,
+		}
+		coop := core.CooperativeBid(float64(j.cores), bidModel)
+		coop.B *= cfg.StatBidFactor
+		j.staticBid = coop
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+// peakPower computes the workload's peak unreduced power by event sweep —
+// the basis for the oversubscribed capacity (Section IV-A).
+func peakPower(jobs []*simJob) float64 {
+	type ev struct {
+		at int
+		dw float64
+	}
+	evs := make([]ev, 0, 2*len(jobs))
+	for _, j := range jobs {
+		w := j.power.JobPower(float64(j.cores), 1)
+		evs = append(evs, ev{j.submitSlot, w}, ev{j.submitSlot + int(math.Ceil(j.origMin)), -w})
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].at != evs[b].at {
+			return evs[a].at < evs[b].at
+		}
+		// Releases (negative) before acquisitions at the same slot.
+		return evs[a].dw < evs[b].dw
+	})
+	var cur, peak float64
+	for _, e := range evs {
+		cur += e.dw
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// computeReduction invokes the configured algorithm and returns the
+// per-job target allocations. Returns the interactive round count (1 for
+// one-shot algorithms), the clearing price (0 for OPT/EQL), feasibility,
+// and the allocation map keyed by job ID.
+func computeReduction(cfg *Config, active []*simJob, targetW float64) (rounds int, price float64, feasible bool, allocs map[int]float64, err error) {
+	marketAlgo := cfg.Algorithm == AlgMPRStat || cfg.Algorithm == AlgMPRInt
+
+	var parts []*core.Participant
+	var bidders []core.Bidder
+	var sel []*simJob
+	for _, j := range active {
+		if marketAlgo && !j.participates {
+			continue
+		}
+		jj := j
+		p := &core.Participant{
+			JobID:        fmt.Sprint(j.id),
+			Cores:        float64(j.cores),
+			Bid:          j.staticBid,
+			WattsPerCore: j.power.DynamicW,
+			MaxFrac:      j.profile.MaxReduction(),
+			Cost: func(d float64) float64 {
+				return float64(jj.cores) * jj.trueModel.Cost(d/float64(jj.cores))
+			},
+			MarginalCost: func(d float64) float64 {
+				return jj.trueModel.Marginal(d / float64(jj.cores))
+			},
+		}
+		parts = append(parts, p)
+		bidders = append(bidders, &core.RationalBidder{Cores: float64(j.cores), Model: j.bidModel})
+		sel = append(sel, j)
+	}
+	if len(parts) == 0 {
+		return 1, 0, false, nil, nil
+	}
+
+	var reductions []float64
+	switch cfg.Algorithm {
+	case AlgMPRStat:
+		r, cerr := core.Clear(parts, targetW)
+		if cerr != nil {
+			return 0, 0, false, nil, cerr
+		}
+		reductions, price, feasible, rounds = r.Reductions, r.Price, r.Feasible, r.Rounds
+	case AlgMPRInt:
+		r, cerr := core.ClearInteractive(parts, bidders, targetW, cfg.Interactive)
+		if cerr != nil {
+			return 0, 0, false, nil, cerr
+		}
+		reductions, price, feasible, rounds = r.Reductions, r.Price, r.Feasible, r.Rounds
+	case AlgOPT:
+		r, cerr := core.SolveOPT(parts, targetW, core.OPTDual)
+		if cerr != nil {
+			return 0, 0, false, nil, cerr
+		}
+		reductions, feasible, rounds = r.Reductions, r.Feasible, 1
+	case AlgEQL:
+		r, cerr := core.SolveEQL(parts, targetW)
+		if cerr != nil {
+			return 0, 0, false, nil, cerr
+		}
+		reductions, feasible, rounds = r.Reductions, r.Feasible, 1
+	default:
+		return 1, 0, true, nil, nil
+	}
+
+	allocs = make(map[int]float64, len(sel))
+	for i, j := range sel {
+		x := reductions[i] / float64(j.cores)
+		if x < 0 {
+			x = 0
+		}
+		maxFrac := j.profile.MaxReduction()
+		if x > maxFrac {
+			x = maxFrac
+		}
+		allocs[j.id] = 1 - x
+	}
+	return rounds, price, feasible, allocs, nil
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if len([]rune(s)) != 8 {
+		t.Fatalf("len = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("sparkline = %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	// Constant series: all minimum glyphs, no panic.
+	flat := Sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	var s Series
+	for i := int64(0); i < 100; i++ {
+		s.Append(i, float64(i%20))
+	}
+	out := LineChart("power", &s, 40, 8, 15)
+	if !strings.Contains(out, "power") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "●") {
+		t.Error("missing data points")
+	}
+	if !strings.Contains(out, "┄") {
+		t.Error("missing threshold line")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 { // title + 8 rows
+		t.Errorf("line count = %d", len(lines))
+	}
+	// Degenerate inputs.
+	if out := LineChart("x", nil, 40, 8, 0); !strings.Contains(out, "no data") {
+		t.Error("nil series should render placeholder")
+	}
+	if out := LineChart("x", &s, 2, 8, 0); !strings.Contains(out, "no data") {
+		t.Error("tiny width should render placeholder")
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	var s Series
+	for i := int64(0); i < 10; i++ {
+		s.Append(i, 42)
+	}
+	out := LineChart("", &s, 20, 4, 0)
+	if !strings.Contains(out, "●") {
+		t.Errorf("constant series render:\n%s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("apps", []string{"XSBench", "HPCCG"}, []float64{2, 4}, 10)
+	if !strings.Contains(out, "apps") || !strings.Contains(out, "XSBench") {
+		t.Errorf("bar chart:\n%s", out)
+	}
+	// HPCCG (max) gets the full width, XSBench half.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Count(lines[2], "█") != 10 {
+		t.Errorf("max bar = %q", lines[2])
+	}
+	if c := strings.Count(lines[1], "█"); c != 5 {
+		t.Errorf("half bar = %d blocks", c)
+	}
+	if out := BarChart("x", []string{"a"}, nil, 10); !strings.Contains(out, "no data") {
+		t.Error("mismatched input should render placeholder")
+	}
+}

@@ -1,0 +1,134 @@
+// Package tco models the total-cost-of-ownership impact of MPR-managed
+// oversubscription (Section III-F): "MPR affects the HPC's TCO in two
+// ways — increase in HPC utilization and reward payoff to HPC users."
+//
+// The model follows the standard data-center cost breakdown the paper
+// cites ([1], [15]): power infrastructure capital cost dominated by the
+// UPS and amortized per kW of capacity, server capital amortized per
+// core, electricity billed per kWh, plus MPR's reward payoff priced in
+// core-hours at the system's effective core-hour cost. Oversubscription
+// adds servers (and their electricity) without adding infrastructure —
+// that is the whole economic point — at the cost of the reward payoff and
+// the overloaded jobs' extra execution.
+package tco
+
+import "fmt"
+
+// Params prices the cost components. Defaults (via Normalize) follow the
+// ballpark figures of the cost studies the paper cites; all costs are
+// amortized to a monthly basis.
+type Params struct {
+	// InfraCapitalPerKWMonth is the amortized power-infrastructure
+	// capital cost per kW of capacity per month (UPS-dominated;
+	// ~$10-15/kW/month for a ~$2000/kW build over 12-15 years).
+	InfraCapitalPerKWMonth float64
+	// ServerCapitalPerCoreMonth is the amortized server capital per core
+	// per month (~$4000 per 64-core node over 5 years ≈ $1/core/month).
+	ServerCapitalPerCoreMonth float64
+	// ElectricityPerKWh is the utility tariff (~$0.08/kWh industrial).
+	ElectricityPerKWh float64
+	// WattsPerCore is the average per-core draw at typical utilization.
+	WattsPerCore float64
+	// Utilization is the average fraction of cores doing useful work.
+	Utilization float64
+}
+
+// Normalize fills defaults and validates.
+func (p *Params) Normalize() error {
+	if p.InfraCapitalPerKWMonth == 0 {
+		p.InfraCapitalPerKWMonth = 12
+	}
+	if p.ServerCapitalPerCoreMonth == 0 {
+		p.ServerCapitalPerCoreMonth = 1
+	}
+	if p.ElectricityPerKWh == 0 {
+		p.ElectricityPerKWh = 0.08
+	}
+	if p.WattsPerCore == 0 {
+		p.WattsPerCore = 150 * 0.7 // paper's 150 W peak core at ~70% util
+	}
+	if p.Utilization == 0 {
+		p.Utilization = 0.7
+	}
+	for name, v := range map[string]float64{
+		"infra capital":  p.InfraCapitalPerKWMonth,
+		"server capital": p.ServerCapitalPerCoreMonth,
+		"electricity":    p.ElectricityPerKWh,
+		"watts per core": p.WattsPerCore,
+	} {
+		if v < 0 {
+			return fmt.Errorf("tco: %s must be non-negative", name)
+		}
+	}
+	if p.Utilization <= 0 || p.Utilization > 1 {
+		return fmt.Errorf("tco: utilization must be in (0,1], got %v", p.Utilization)
+	}
+	return nil
+}
+
+// Scenario describes one capacity plan to price.
+type Scenario struct {
+	// BaseCores is the core count the infrastructure was built for.
+	BaseCores float64
+	// OversubPct is the oversubscription level (0 = none).
+	OversubPct float64
+	// RewardCoreHMonth is MPR's monthly incentive payoff in core-hours
+	// (from simulation results); 0 without oversubscription.
+	RewardCoreHMonth float64
+	// ExtraExecCoreHMonth is the overloaded jobs' monthly extra
+	// execution in core-hours — capacity consumed re-doing slowed work.
+	ExtraExecCoreHMonth float64
+}
+
+// Breakdown is a monthly TCO decomposition.
+type Breakdown struct {
+	Cores float64
+	// Monthly dollar components.
+	InfraCapital  float64
+	ServerCapital float64
+	Electricity   float64
+	RewardPayoff  float64
+	Total         float64
+	// DeliveredCoreH is the useful capacity after subtracting rewards
+	// and extra execution; CostPerCoreH = Total / DeliveredCoreH is the
+	// figure of merit.
+	DeliveredCoreH float64
+	CostPerCoreH   float64
+}
+
+// Evaluate prices a scenario with the given parameters over a 720-hour
+// month.
+func Evaluate(p Params, s Scenario) (*Breakdown, error) {
+	if err := p.Normalize(); err != nil {
+		return nil, err
+	}
+	if s.BaseCores <= 0 {
+		return nil, fmt.Errorf("tco: base cores must be positive")
+	}
+	if s.OversubPct < 0 {
+		return nil, fmt.Errorf("tco: oversubscription must be non-negative")
+	}
+	const hoursPerMonth = 720
+
+	cores := s.BaseCores * (1 + s.OversubPct/100)
+	// Infrastructure is sized for the base system — oversubscription is
+	// precisely not paying for more of it.
+	infraKW := s.BaseCores * p.WattsPerCore / p.Utilization / 1000
+
+	b := &Breakdown{Cores: cores}
+	b.InfraCapital = infraKW * p.InfraCapitalPerKWMonth
+	b.ServerCapital = cores * p.ServerCapitalPerCoreMonth
+	b.Electricity = cores * p.WattsPerCore / 1000 * hoursPerMonth * p.ElectricityPerKWh
+	// Reward payoff priced at the system's raw cost per core-hour.
+	rawCostPerCoreH := (b.InfraCapital + b.ServerCapital + b.Electricity) /
+		(cores * p.Utilization * hoursPerMonth)
+	b.RewardPayoff = s.RewardCoreHMonth * rawCostPerCoreH
+	b.Total = b.InfraCapital + b.ServerCapital + b.Electricity + b.RewardPayoff
+
+	b.DeliveredCoreH = cores*p.Utilization*hoursPerMonth - s.RewardCoreHMonth - s.ExtraExecCoreHMonth
+	if b.DeliveredCoreH <= 0 {
+		return nil, fmt.Errorf("tco: scenario delivers no useful capacity")
+	}
+	b.CostPerCoreH = b.Total / b.DeliveredCoreH
+	return b, nil
+}

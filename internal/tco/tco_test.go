@@ -1,0 +1,120 @@
+package tco
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParamsDefaults(t *testing.T) {
+	var p Params
+	if err := p.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if p.InfraCapitalPerKWMonth != 12 || p.ElectricityPerKWh != 0.08 {
+		t.Errorf("defaults = %+v", p)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	bad := []Params{
+		{InfraCapitalPerKWMonth: -1},
+		{Utilization: 1.5},
+		{ElectricityPerKWh: -0.01},
+	}
+	for i, p := range bad {
+		if err := p.Normalize(); err == nil {
+			t.Errorf("params %d should be invalid", i)
+		}
+	}
+}
+
+func TestEvaluateBaseline(t *testing.T) {
+	b, err := Evaluate(Params{}, Scenario{BaseCores: 2004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cores != 2004 {
+		t.Errorf("cores = %v", b.Cores)
+	}
+	if b.RewardPayoff != 0 {
+		t.Errorf("baseline reward = %v", b.RewardPayoff)
+	}
+	if b.Total <= 0 || b.CostPerCoreH <= 0 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	sum := b.InfraCapital + b.ServerCapital + b.Electricity + b.RewardPayoff
+	if math.Abs(sum-b.Total) > 1e-9 {
+		t.Errorf("components %v != total %v", sum, b.Total)
+	}
+}
+
+// The paper's economics: oversubscription lowers the cost per delivered
+// core-hour because infrastructure capital is spread over more cores,
+// even after paying the rewards and the extra execution.
+func TestOversubscriptionLowersUnitCost(t *testing.T) {
+	base, err := Evaluate(Params{}, Scenario{BaseCores: 2004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Realistic 15% case from the simulation: rewards and extra
+	// execution are a few thousand core-hours/month on a ~1M core-h
+	// system.
+	over, err := Evaluate(Params{}, Scenario{
+		BaseCores:           2004,
+		OversubPct:          15,
+		RewardCoreHMonth:    6000,
+		ExtraExecCoreHMonth: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.CostPerCoreH >= base.CostPerCoreH {
+		t.Errorf("oversubscribed unit cost %v should beat baseline %v",
+			over.CostPerCoreH, base.CostPerCoreH)
+	}
+	// Infrastructure capital unchanged; server capital and electricity
+	// grow with the added cores.
+	if math.Abs(over.InfraCapital-base.InfraCapital) > 1e-9 {
+		t.Error("oversubscription must not change infrastructure capital")
+	}
+	if over.ServerCapital <= base.ServerCapital || over.Electricity <= base.Electricity {
+		t.Error("added servers must cost more capital and electricity")
+	}
+	if over.RewardPayoff <= 0 {
+		t.Error("rewards must be priced in")
+	}
+}
+
+// Excessive rewards erase the benefit — the diminishing-return message of
+// Fig. 11(b).
+func TestExcessiveRewardsEraseBenefit(t *testing.T) {
+	base, _ := Evaluate(Params{}, Scenario{BaseCores: 2004})
+	over, err := Evaluate(Params{}, Scenario{
+		BaseCores:           2004,
+		OversubPct:          15,
+		RewardCoreHMonth:    180000, // paying out most of the added capacity
+		ExtraExecCoreHMonth: 50000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.CostPerCoreH <= base.CostPerCoreH {
+		t.Errorf("huge rewards should erase the benefit: %v vs %v",
+			over.CostPerCoreH, base.CostPerCoreH)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(Params{}, Scenario{BaseCores: 0}); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := Evaluate(Params{}, Scenario{BaseCores: 10, OversubPct: -5}); err == nil {
+		t.Error("negative oversubscription accepted")
+	}
+	// A scenario that pays out more than it delivers.
+	if _, err := Evaluate(Params{}, Scenario{
+		BaseCores: 10, RewardCoreHMonth: 1e9,
+	}); err == nil {
+		t.Error("negative delivered capacity accepted")
+	}
+}

@@ -1,0 +1,130 @@
+// Package trace provides the workload substrate of the MPR reproduction:
+// the Standard Workload Format (SWF) of the Parallel Workloads Archive
+// (parser and writer), seeded synthetic generators calibrated to the four
+// clusters the paper evaluates (Gaia, PIK, RICC, Metacentrum), utilization
+// analysis (Fig. 1(b), Fig. 6), and the workload scale-up used when
+// studying oversubscription (Table I: "workload scaled-up proportional to
+// the extra capacity").
+//
+// The Parallel Workloads Archive logs themselves are not redistributable
+// and the build environment is offline, so experiments run on synthetic
+// traces whose job counts, spans, peak allocations, and utilization
+// distributions are calibrated to the published characteristics of each
+// log (see DESIGN.md §3). Real SWF files drop in via ParseSWF.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Job is one batch job of a workload trace. Times are in seconds relative
+// to the trace start.
+type Job struct {
+	// ID is the job's number within the trace (1-based in SWF).
+	ID int
+	// Submit is when the job entered the queue.
+	Submit int64
+	// Wait is the queuing delay; the job started at Submit+Wait.
+	Wait int64
+	// Runtime is the execution duration at full speed.
+	Runtime int64
+	// Cores is the number of allocated processors.
+	Cores int
+}
+
+// Start returns the job's start time in seconds.
+func (j Job) Start() int64 { return j.Submit + j.Wait }
+
+// End returns the job's completion time at full speed.
+func (j Job) End() int64 { return j.Start() + j.Runtime }
+
+// CoreSeconds returns the job's resource footprint.
+func (j Job) CoreSeconds() int64 { return j.Runtime * int64(j.Cores) }
+
+// Trace is a workload: an ordered set of jobs plus cluster metadata.
+type Trace struct {
+	// Name identifies the workload (e.g. "gaia").
+	Name string
+	// TotalCores is the cluster size the trace was collected on.
+	TotalCores int
+	// Jobs is ordered by submit time.
+	Jobs []Job
+}
+
+// Validate checks trace invariants: jobs ordered by submit time, positive
+// runtimes and core counts, allocations within the cluster size.
+func (t *Trace) Validate() error {
+	if t.TotalCores <= 0 {
+		return fmt.Errorf("trace %s: total cores must be positive", t.Name)
+	}
+	var prev int64
+	for i, j := range t.Jobs {
+		if j.Submit < prev {
+			return fmt.Errorf("trace %s: job %d out of submit order", t.Name, i)
+		}
+		prev = j.Submit
+		if j.Runtime <= 0 {
+			return fmt.Errorf("trace %s: job %d has non-positive runtime", t.Name, i)
+		}
+		if j.Cores <= 0 {
+			return fmt.Errorf("trace %s: job %d has non-positive cores", t.Name, i)
+		}
+		if j.Cores > t.TotalCores {
+			return fmt.Errorf("trace %s: job %d allocates %d cores on a %d-core system", t.Name, i, j.Cores, t.TotalCores)
+		}
+		if j.Wait < 0 {
+			return fmt.Errorf("trace %s: job %d has negative wait", t.Name, i)
+		}
+	}
+	return nil
+}
+
+// Span returns the time from the first submit to the last job end, in
+// seconds. Zero for an empty trace.
+func (t *Trace) Span() int64 {
+	if len(t.Jobs) == 0 {
+		return 0
+	}
+	var end int64
+	for _, j := range t.Jobs {
+		if e := j.End(); e > end {
+			end = e
+		}
+	}
+	return end - t.Jobs[0].Submit
+}
+
+// PeakAllocation replays the trace and returns the maximum simultaneous
+// core allocation (the 2012-core peak of Fig. 6 for Gaia).
+func (t *Trace) PeakAllocation() int {
+	type event struct {
+		at    int64
+		delta int
+	}
+	evs := make([]event, 0, 2*len(t.Jobs))
+	for _, j := range t.Jobs {
+		evs = append(evs, event{j.Start(), j.Cores}, event{j.End(), -j.Cores})
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].at != evs[b].at {
+			return evs[a].at < evs[b].at
+		}
+		// Releases before acquisitions at the same instant.
+		return evs[a].delta < evs[b].delta
+	})
+	cur, peak := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// SortBySubmit orders jobs by submit time (stable), re-establishing the
+// Validate invariant after programmatic edits.
+func (t *Trace) SortBySubmit() {
+	sort.SliceStable(t.Jobs, func(a, b int) bool { return t.Jobs[a].Submit < t.Jobs[b].Submit })
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"mpr/internal/stats"
+)
+
+// AllocationSeries replays the trace (ignoring any capacity constraint)
+// and returns the simultaneous core allocation sampled at the given slot
+// width in seconds — the Fig. 6 timeline for Gaia.
+func AllocationSeries(t *Trace, slotSeconds int64) *stats.Series {
+	if slotSeconds <= 0 {
+		slotSeconds = 60
+	}
+	span := t.Span()
+	if span <= 0 || len(t.Jobs) == 0 {
+		return &stats.Series{}
+	}
+	origin := t.Jobs[0].Submit
+	slots := int(span/slotSeconds) + 1
+	diff := make([]int, slots+1)
+	for _, j := range t.Jobs {
+		s := int((j.Start() - origin) / slotSeconds)
+		e := int((j.End() - origin) / slotSeconds)
+		if s < 0 {
+			s = 0
+		}
+		if e >= slots {
+			e = slots - 1
+		}
+		if e < s {
+			e = s
+		}
+		diff[s] += j.Cores
+		diff[e+1] -= j.Cores
+	}
+	out := &stats.Series{T: make([]int64, slots), V: make([]float64, slots)}
+	cur := 0
+	for i := 0; i < slots; i++ {
+		cur += diff[i]
+		out.T[i] = int64(i) * slotSeconds
+		out.V[i] = float64(cur)
+	}
+	return out
+}
+
+// UtilizationCDF returns the empirical CDF of the trace's utilization
+// (allocation / total cores) sampled at the given slot width — the
+// Fig. 1(b) curves.
+func UtilizationCDF(t *Trace, slotSeconds int64) *stats.CDF {
+	s := AllocationSeries(t, slotSeconds)
+	u := make([]float64, len(s.V))
+	for i, v := range s.V {
+		u[i] = v / float64(t.TotalCores)
+	}
+	return stats.NewCDF(u)
+}
