@@ -56,16 +56,53 @@ const (
 	OPTDual    = core.OPTDual
 )
 
+// ClearMode selects the MClr solver implementation.
+type ClearMode = core.ClearMode
+
+// MClr solver modes: the closed-form segmented solver (default) and the
+// legacy bisection search retained as a cross-check.
+const (
+	ClearAuto       = core.ClearAuto
+	ClearClosedForm = core.ClearClosedForm
+	ClearBisection  = core.ClearBisection
+)
+
+// MarketIndex is the reusable MClr fast path: activation-sorted prefix
+// sums giving O(log M) supply evaluation and exact per-segment clearing.
+type MarketIndex = core.MarketIndex
+
+// NewMarketIndex builds a reusable market index over the participants'
+// current bids.
+func NewMarketIndex(ps []*Participant) (*MarketIndex, error) {
+	return core.NewMarketIndex(ps)
+}
+
 // Clear runs the one-shot MPR-STAT market: minimal clearing price whose
 // aggregate supply meets the power-reduction target.
 func Clear(ps []*Participant, targetW float64) (*ClearingResult, error) {
 	return core.Clear(ps, targetW)
 }
 
+// ClearWithMode is Clear with an explicit solver selection.
+func ClearWithMode(ps []*Participant, targetW float64, mode ClearMode) (*ClearingResult, error) {
+	return core.ClearWithMode(ps, targetW, mode)
+}
+
 // ClearCapped clears the market under a manager-side price ceiling (the
 // Table I affordability bound).
 func ClearCapped(ps []*Participant, targetW, priceCap float64) (*ClearingResult, error) {
 	return core.ClearCapped(ps, targetW, priceCap)
+}
+
+// ClearCappedWithMode is ClearCapped with an explicit solver selection.
+func ClearCappedWithMode(ps []*Participant, targetW, priceCap float64, mode ClearMode) (*ClearingResult, error) {
+	return core.ClearCappedWithMode(ps, targetW, priceCap, mode)
+}
+
+// MarketStats reports the cumulative solver-call counters (full price
+// searches, capped short-circuits) for observability in tests and ops.
+func MarketStats() (priceSearches, cappedShortCircuits int64) {
+	return core.MarketStats()
 }
 
 // ClearInteractive runs the MPR-INT market loop to (Nash) convergence.

@@ -108,11 +108,36 @@ func benchPool(b *testing.B, n int) ([]*core.Participant, []core.Bidder, float64
 	return parts, bidders, 0.4 * maxW
 }
 
+// benchClear measures the steady-state clear: the market index is built
+// once and reused, as the sim engine and MPR-INT rounds do. Zero
+// allocations per iteration.
 func benchClear(b *testing.B, n int) {
 	parts, _, target := benchPool(b, n)
+	ix, err := core.NewMarketIndex(parts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res core.ClearingResult
+	if err := ix.ClearInto(&res, target); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Clear(parts, target); err != nil {
+		if err := ix.ClearInto(&res, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchClearMode measures the one-shot clear (validate + build + solve
+// every call) under the given solver.
+func benchClearMode(b *testing.B, n int, mode core.ClearMode) {
+	parts, _, target := benchPool(b, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ClearWithMode(parts, target, mode); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -124,18 +149,45 @@ func BenchmarkMarketClear1000(b *testing.B)  { benchClear(b, 1000) }
 func BenchmarkMarketClear10000(b *testing.B) { benchClear(b, 10000) }
 func BenchmarkMarketClear30000(b *testing.B) { benchClear(b, 30000) }
 
-func BenchmarkMarketInteractive1000(b *testing.B) {
+// One-shot closed-form clear (index rebuilt per call) and the legacy
+// bisection solver, for the DESIGN.md solver comparison.
+func BenchmarkMarketClearFresh30000(b *testing.B) {
+	benchClearMode(b, 30000, core.ClearClosedForm)
+}
+func BenchmarkMarketClearBisect1000(b *testing.B) {
+	benchClearMode(b, 1000, core.ClearBisection)
+}
+func BenchmarkMarketClearBisect30000(b *testing.B) {
+	benchClearMode(b, 30000, core.ClearBisection)
+}
+
+func benchInteractive(b *testing.B, cfg core.InteractiveConfig) {
 	parts, bidders, target := benchPool(b, 1000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.ClearInteractive(parts, bidders, target, core.InteractiveConfig{}); err != nil {
+		if _, err := core.ClearInteractive(parts, bidders, target, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
+func BenchmarkMarketInteractive1000(b *testing.B) {
+	benchInteractive(b, core.InteractiveConfig{})
+}
+
+// Sequential rebidding and the legacy per-round solver, for comparison
+// against the parallel/indexed default above.
+func BenchmarkMarketInteractive1000Seq(b *testing.B) {
+	benchInteractive(b, core.InteractiveConfig{Workers: 1})
+}
+func BenchmarkMarketInteractive1000Bisect(b *testing.B) {
+	benchInteractive(b, core.InteractiveConfig{Workers: 1, Mode: core.ClearBisection})
+}
+
 func BenchmarkOPTDual1000(b *testing.B) {
 	parts, _, target := benchPool(b, 1000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.SolveOPT(parts, target, core.OPTDual); err != nil {
@@ -146,6 +198,7 @@ func BenchmarkOPTDual1000(b *testing.B) {
 
 func BenchmarkOPTGeneric1000(b *testing.B) {
 	parts, _, target := benchPool(b, 1000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.SolveOPT(parts, target, core.OPTGeneric); err != nil {
@@ -156,6 +209,7 @@ func BenchmarkOPTGeneric1000(b *testing.B) {
 
 func BenchmarkEQL1000(b *testing.B) {
 	parts, _, target := benchPool(b, 1000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.SolveEQL(parts, target); err != nil {
@@ -166,6 +220,7 @@ func BenchmarkEQL1000(b *testing.B) {
 
 func BenchmarkSupplyFunction(b *testing.B) {
 	bid := core.Bid{Delta: 0.7, B: 0.14}
+	b.ReportAllocs()
 	var sink float64
 	for i := 0; i < b.N; i++ {
 		sink += bid.Supply(0.5)
@@ -179,6 +234,7 @@ func BenchmarkCooperativeBid(b *testing.B) {
 		b.Fatal(err)
 	}
 	model := perf.NewCostModel(prof, 1, perf.CostLinear)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.CooperativeBid(16, model)
@@ -192,6 +248,7 @@ func BenchmarkRationalBid(b *testing.B) {
 	}
 	model := perf.NewCostModel(prof, 1, perf.CostLinear)
 	rb := &core.RationalBidder{Cores: 16, Model: model}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rb.RespondBid(0.5)

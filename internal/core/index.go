@@ -1,0 +1,330 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Solver-call counters. They exist so tests and benchmarks can observe
+// *how* a result was produced — e.g. that ClearCapped's capped branch
+// never runs a full price search — without threading diagnostics through
+// every return value. They are cumulative across the process.
+var (
+	statPriceSearches       atomic.Int64 // full MClr price solves (any mode)
+	statCappedShortCircuits atomic.Int64 // ClearCapped settled at the cap without a price search
+)
+
+// MarketStats returns the cumulative solver-call counters: the number of
+// full MClr price searches performed and the number of ClearCapped calls
+// that short-circuited at the price cap without one.
+func MarketStats() (priceSearches, cappedShortCircuits int64) {
+	return statPriceSearches.Load(), statCappedShortCircuits.Load()
+}
+
+// MarketIndex is the reusable fast path for MClr. It precomputes, per
+// participant, the weighted supply terms WΔᵢ = WattsPerCoreᵢ·Δᵢ and
+// Wbᵢ = WattsPerCoreᵢ·bᵢ, sorts participants by activation price
+// aᵢ = bᵢ/Δᵢ, and maintains prefix sums of WΔ and Wb over that order.
+//
+// Because every supply function is the same scalar-parameterized
+// hyperbola δ(q) = [Δ − b/q]⁺, the aggregate supply over the active
+// prefix {i : aᵢ ≤ q} collapses to
+//
+//	S(q) = ΣWΔ − ΣWb/q,
+//
+// evaluable in O(log M) (binary search for the prefix plus two lookups),
+// and the minimal clearing price solves **exactly** per activation
+// segment: q′ = ΣWb/(ΣWΔ − target). No bisection is needed at all.
+//
+// Costs: O(M log M) one-time build, O(log M) per price solve, O(M) to
+// materialize per-participant reductions. Across simulation steps and
+// MPR-INT rounds the index is reused — SetBid marks changed bids and
+// Refresh re-sorts only when the activation order actually changed
+// (nearly-sorted inputs re-sort in close to O(M)), recomputing the
+// prefix sums in O(M) with no allocation.
+//
+// A MarketIndex is not safe for concurrent mutation; concurrent calls to
+// the read-only methods (SupplyW, MaxSupplyW) are safe once built.
+type MarketIndex struct {
+	watts []float64 // WattsPerCore, original participant order
+	bids  []Bid     // current bids, original participant order
+	key   []float64 // activation price per participant (+Inf when Δ = 0)
+
+	order  []int     // participant indices sorted by (key, index)
+	act    []float64 // act[k] = key[order[k]]
+	prefWD []float64 // prefWD[k] = Σ_{j<k} W·Δ over order (len n+1)
+	prefWB []float64 // prefWB[k] = Σ_{j<k} W·b over order (len n+1)
+	finite int       // number of entries with a finite activation price
+	maxW   float64   // prefWD[n]: aggregate supply ceiling in watts
+	dirty  bool
+}
+
+// NewMarketIndex validates the participants and builds the index over
+// their current bids. The index keeps its own copy of the bids; later
+// changes to the participants are not seen unless applied via SetBid.
+func NewMarketIndex(ps []*Participant) (*MarketIndex, error) {
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	n := len(ps)
+	ix := &MarketIndex{
+		watts:  make([]float64, n),
+		bids:   make([]Bid, n),
+		key:    make([]float64, n),
+		order:  make([]int, n),
+		act:    make([]float64, n),
+		prefWD: make([]float64, n+1),
+		prefWB: make([]float64, n+1),
+	}
+	for i, p := range ps {
+		ix.watts[i] = p.WattsPerCore
+		ix.bids[i] = p.Bid
+		ix.key[i] = activationKey(p.Bid)
+		ix.order[i] = i
+	}
+	ix.rebuild(true)
+	return ix, nil
+}
+
+// activationKey is the sort key: the activation price b/Δ, or +Inf for
+// bids that can never supply (Δ = 0), pushing them past every segment so
+// they contribute nothing to the prefix sums.
+func activationKey(b Bid) float64 {
+	if b.Delta <= 0 {
+		return math.Inf(1)
+	}
+	return b.B / b.Delta
+}
+
+// Len, Less, Swap implement sort.Interface over the activation order.
+// Ties break on the participant index so the sorted permutation — and
+// therefore the floating-point summation order of the prefix sums — is
+// unique regardless of rebuild history.
+func (ix *MarketIndex) Len() int { return len(ix.order) }
+func (ix *MarketIndex) Less(a, b int) bool {
+	ka, kb := ix.key[ix.order[a]], ix.key[ix.order[b]]
+	if ka != kb {
+		return ka < kb
+	}
+	return ix.order[a] < ix.order[b]
+}
+func (ix *MarketIndex) Swap(a, b int) { ix.order[a], ix.order[b] = ix.order[b], ix.order[a] }
+
+// rebuild re-derives act, the prefix sums, and the supply ceiling from
+// the current bids. When force is false the sort is skipped if the
+// existing order is still valid (the common case when only bid
+// magnitudes, not activation ordering, changed between rounds).
+func (ix *MarketIndex) rebuild(force bool) {
+	if force || !sort.IsSorted(ix) {
+		sort.Sort(ix)
+	}
+	var wd, wb float64
+	ix.finite = len(ix.order)
+	for k, i := range ix.order {
+		a := ix.key[i]
+		ix.act[k] = a
+		if math.IsInf(a, 1) && ix.finite == len(ix.order) {
+			ix.finite = k
+		}
+		if d := ix.bids[i].Delta; d > 0 {
+			wd += ix.watts[i] * d
+			wb += ix.watts[i] * ix.bids[i].B
+		}
+		ix.prefWD[k+1] = wd
+		ix.prefWB[k+1] = wb
+	}
+	ix.maxW = wd
+	ix.dirty = false
+}
+
+// SetBid replaces participant i's bid. The change takes effect at the
+// next Refresh (ClearInto refreshes automatically). Unchanged bids are
+// detected and skipped, so static bidders in an interactive market cost
+// nothing between rounds.
+func (ix *MarketIndex) SetBid(i int, b Bid) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if ix.bids[i] == b {
+		return nil
+	}
+	ix.bids[i] = b
+	ix.key[i] = activationKey(b)
+	ix.dirty = true
+	return nil
+}
+
+// Refresh incorporates pending SetBid changes: it re-sorts only if the
+// activation order changed and recomputes the prefix sums in O(M),
+// allocating nothing.
+func (ix *MarketIndex) Refresh() {
+	if !ix.dirty {
+		return
+	}
+	ix.rebuild(false)
+}
+
+// activeCount returns the number of participants whose activation price
+// is ≤ q (the active prefix length), in O(log M).
+func (ix *MarketIndex) activeCount(q float64) int {
+	lo, hi := 0, len(ix.act)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.act[mid] <= q {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SupplyW evaluates the aggregate supply S(q) in watts in O(log M).
+func (ix *MarketIndex) SupplyW(q float64) float64 {
+	k := ix.activeCount(q)
+	if k == 0 {
+		return 0
+	}
+	wb := ix.prefWB[k]
+	if wb == 0 || q <= 0 {
+		// Only fully willing (b = 0) participants are active at q ≤ 0,
+		// so the withheld term vanishes in both cases.
+		return ix.prefWD[k]
+	}
+	return ix.prefWD[k] - wb/q
+}
+
+// MaxSupplyW returns the aggregate supply ceiling ΣWΔ in watts.
+func (ix *MarketIndex) MaxSupplyW() float64 { return ix.maxW }
+
+// minPrice solves MClr exactly: the minimal price q′ with S(q′) ≥
+// targetW, or a saturation price and feasible=false when even full
+// supply falls short. Complexity O(log² M): an outer binary search over
+// activation segments with an O(log M) supply evaluation per probe, then
+// one closed-form division inside the located segment.
+func (ix *MarketIndex) minPrice(targetW float64) (price float64, feasible bool) {
+	statPriceSearches.Add(1)
+	if targetW <= 0 {
+		return 0, true
+	}
+	if ix.maxW < targetW {
+		return ix.saturationPrice(), false
+	}
+	if ix.SupplyW(0) >= targetW {
+		return 0, true
+	}
+	// Find the first breakpoint whose supply meets the target. Supply is
+	// continuous and non-decreasing, so the clearing price lies in the
+	// segment ending at that breakpoint; if no breakpoint reaches the
+	// target the price lies beyond the last activation.
+	m := ix.finite
+	lo, hi := 0, m
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.SupplyW(ix.act[mid]) >= targetW {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	k := lo
+	// Active prefix on the open segment below breakpoint k. Ties sort
+	// adjacently, and k is minimal, so exactly the first k entries have
+	// activation strictly below act[k].
+	wd, wb := ix.prefWD[k], ix.prefWB[k]
+	denom := wd - targetW
+	if denom <= 0 {
+		if k < m {
+			// Numerical corner: the segment's ceiling equals the target;
+			// the breakpoint itself clears (its activating participants
+			// supply zero there).
+			return ix.act[k], true
+		}
+		// target == maxW with withheld supply: saturation only in the
+		// limit q → ∞; settle where the withheld amount rounds away,
+		// like the bisection path's bracketing does.
+		return ix.saturationPrice(), true
+	}
+	q := wb / denom
+	// Clamp into the segment against floating-point drift: the price may
+	// not fall below the last breakpoint whose supply was short, nor
+	// above the breakpoint that met the target.
+	if k > 0 && q < ix.act[k-1] {
+		q = ix.act[k-1]
+	}
+	if k < m && q > ix.act[k] {
+		q = ix.act[k]
+	}
+	return q, true
+}
+
+// saturationPrice doubles from the largest activation price until the
+// withheld aggregate Wb/q is below 1e-9 W — the same saturation rule the
+// bisection path uses for infeasible targets (price capped at 1e15).
+func (ix *MarketIndex) saturationPrice() float64 {
+	q := 1e-6
+	if ix.finite > 0 {
+		if a := ix.act[ix.finite-1]; a > q {
+			q = a
+		}
+	}
+	for ix.SupplyW(q) < ix.maxW-1e-9 && q < 1e15 {
+		q *= 2
+	}
+	return q
+}
+
+// Clear solves MClr against the index's current bids, allocating a fresh
+// result. See ClearInto for the allocation-free variant.
+func (ix *MarketIndex) Clear(targetW float64) (*ClearingResult, error) {
+	res := &ClearingResult{}
+	if err := ix.ClearInto(res, targetW); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ClearInto solves MClr against the index's current bids, writing the
+// outcome into res. res.Reductions is reused when its capacity suffices,
+// so steady-state clears perform zero heap allocations. Pending SetBid
+// changes are refreshed first.
+func (ix *MarketIndex) ClearInto(res *ClearingResult, targetW float64) error {
+	ix.Refresh()
+	n := len(ix.bids)
+	if cap(res.Reductions) >= n {
+		res.Reductions = res.Reductions[:n]
+	} else {
+		res.Reductions = make([]float64, n)
+	}
+	res.Price = 0
+	res.SuppliedW = 0
+	res.TargetW = targetW
+	res.Feasible = true
+	res.PayoutRate = 0
+	res.Rounds = 1
+	res.Converged = true
+	if targetW <= 0 {
+		for i := range res.Reductions {
+			res.Reductions[i] = 0
+		}
+		return nil
+	}
+	if n == 0 {
+		return ErrNoParticipants
+	}
+	price, feasible := ix.minPrice(targetW)
+	res.Price = price
+	res.Feasible = feasible
+	var total float64
+	for i := range ix.bids {
+		d := ix.bids[i].Supply(price)
+		res.Reductions[i] = d
+		res.SuppliedW += ix.watts[i] * d
+		total += d
+	}
+	res.PayoutRate = price * total
+	return nil
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpr/internal/perf"
+)
+
+// randomPool builds a seeded random participant pool for the differential
+// tests: mixed willingness (B = 0 fully willing jobs), Δ = 0 jobs that
+// can never supply, and heterogeneous watts-per-core.
+func randomPool(rng *rand.Rand, n int) []*Participant {
+	ps := make([]*Participant, n)
+	for i := 0; i < n; i++ {
+		delta := 0.1 + 7.9*rng.Float64()
+		if rng.Float64() < 0.08 {
+			delta = 0 // job that supports no reduction at all
+		}
+		b := 0.01 + 5*rng.Float64()
+		if rng.Float64() < 0.15 {
+			b = 0 // fully willing job
+		}
+		ps[i] = &Participant{
+			JobID:        fmt.Sprintf("r%d", i),
+			Cores:        float64(1 + rng.Intn(32)),
+			Bid:          Bid{Delta: delta, B: b},
+			WattsPerCore: 50 + 200*rng.Float64(),
+		}
+	}
+	return ps
+}
+
+func poolMaxW(ps []*Participant) float64 {
+	var maxW float64
+	for _, p := range ps {
+		maxW += p.WattsPerCore * p.Bid.Delta
+	}
+	return maxW
+}
+
+// TestClosedFormMatchesBisection is the differential property test: over
+// seeded random pools of 1–10,000 participants (including B = 0 fully
+// willing jobs, Δ = 0 jobs, and infeasible targets), the closed-form
+// segmented solver and the bisection solver agree on feasibility,
+// clearing price, reductions, and supplied power to 1e-9.
+func TestClosedFormMatchesBisection(t *testing.T) {
+	sizes := []int{1, 2, 3, 7, 33, 257, 1025, 10000}
+	if testing.Short() {
+		sizes = []int{1, 2, 3, 7, 33, 257}
+	}
+	fracs := []float64{1e-6, 0.05, 0.3, 0.6, 0.9, 0.99, 0.999, 1.5, 3}
+	for _, n := range sizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(7*n + 1)))
+			ps := randomPool(rng, n)
+			maxW := poolMaxW(ps)
+			for _, frac := range fracs {
+				target := frac * maxW
+				if maxW == 0 { // all-Δ=0 pool: exercise the infeasible path
+					target = 100
+				}
+				cf, err := ClearWithMode(ps, target, ClearClosedForm)
+				if err != nil {
+					t.Fatalf("closed form target %v: %v", target, err)
+				}
+				bi, err := ClearWithMode(ps, target, ClearBisection)
+				if err != nil {
+					t.Fatalf("bisection target %v: %v", target, err)
+				}
+				if cf.Feasible != bi.Feasible {
+					t.Fatalf("target %v: feasibility %v vs %v", target, cf.Feasible, bi.Feasible)
+				}
+				if cf.Feasible {
+					// The bisection bracket is 1e-13-relative; 1e-9 leaves
+					// four orders of magnitude of slack over its guarantee.
+					tol := 1e-9 * (1 + cf.Price)
+					if d := math.Abs(cf.Price - bi.Price); d > tol {
+						t.Errorf("target %v (frac %v): price %v vs %v (Δ %.3g > %.3g)",
+							target, frac, cf.Price, bi.Price, d, tol)
+					}
+					if d := math.Abs(cf.SuppliedW - bi.SuppliedW); d > 1e-9*(1+maxW) {
+						t.Errorf("target %v: supplied %v vs %v", target, cf.SuppliedW, bi.SuppliedW)
+					}
+					// Exactness: the closed form itself meets the target and
+					// is minimal to 1e-9 relative.
+					if cf.SuppliedW < target-1e-9*(1+target) {
+						t.Errorf("target %v: closed form supplied %v short of target", target, cf.SuppliedW)
+					}
+				} else {
+					// Infeasible prices are saturation sentinels and may
+					// differ between solvers; everyone must be saturated.
+					for i, p := range ps {
+						if math.Abs(cf.Reductions[i]-p.Bid.Delta) > 1e-6*(1+p.Bid.Delta) {
+							t.Fatalf("infeasible: participant %d not saturated: %v vs Δ=%v",
+								i, cf.Reductions[i], p.Bid.Delta)
+						}
+					}
+				}
+				for i := range ps {
+					tol := 1e-9 * (1 + ps[i].Bid.Delta)
+					if d := math.Abs(cf.Reductions[i] - bi.Reductions[i]); d > tol {
+						t.Errorf("target %v: reduction[%d] %v vs %v (Δ %.3g)",
+							target, i, cf.Reductions[i], bi.Reductions[i], d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The index's O(log M) aggregate supply must match the naive O(M) sum at
+// arbitrary prices, including q = 0 and prices below every activation.
+func TestMarketIndexSupplyMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 5, 64, 513} {
+		ps := randomPool(rng, n)
+		ix, err := NewMarketIndex(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ix.MaxSupplyW()-poolMaxW(ps)) > 1e-6 {
+			t.Errorf("n=%d: MaxSupplyW %v vs %v", n, ix.MaxSupplyW(), poolMaxW(ps))
+		}
+		prices := []float64{0, 1e-9, 0.01, 0.1, 0.5, 1, 3, 10, 100, 1e6}
+		for _, q := range prices {
+			var naive float64
+			for _, p := range ps {
+				naive += p.WattsPerCore * p.Bid.Supply(q)
+			}
+			got := ix.SupplyW(q)
+			if d := math.Abs(got - naive); d > 1e-7*(1+naive) {
+				t.Errorf("n=%d q=%v: SupplyW %v vs naive %v", n, q, got, naive)
+			}
+		}
+	}
+}
+
+// Incremental SetBid + Refresh must land on the same prices and supplies
+// as rebuilding the index from scratch.
+func TestMarketIndexSetBidMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ps := randomPool(rng, 200)
+	ix, err := NewMarketIndex(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		// Mutate a subset of bids, including activation-order changes,
+		// willingness flips, and Δ = 0 degenerations.
+		for i := 0; i < len(ps); i += 3 + round {
+			nb := Bid{Delta: 8 * rng.Float64(), B: 5 * rng.Float64()}
+			switch i % 5 {
+			case 0:
+				nb.B = 0
+			case 1:
+				nb.Delta = 0
+			}
+			ps[i].Bid = nb
+			if err := ix.SetBid(i, nb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fresh, err := NewMarketIndex(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := 0.5 * poolMaxW(ps)
+		inc, err := ix.Clear(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := fresh.Clear(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inc.Price != ref.Price || inc.SuppliedW != ref.SuppliedW || inc.Feasible != ref.Feasible {
+			t.Fatalf("round %d: incremental %+v vs fresh %+v", round, inc, ref)
+		}
+		for i := range inc.Reductions {
+			if inc.Reductions[i] != ref.Reductions[i] {
+				t.Fatalf("round %d: reduction[%d] %v vs %v", round, i, inc.Reductions[i], ref.Reductions[i])
+			}
+		}
+	}
+	// Unchanged bids are no-ops: the index must not even go dirty.
+	ix.Refresh()
+	if err := ix.SetBid(0, ps[0].Bid); err != nil {
+		t.Fatal(err)
+	}
+	if ix.dirty {
+		t.Error("SetBid with an identical bid dirtied the index")
+	}
+	if err := ix.SetBid(1, Bid{Delta: -1}); err == nil {
+		t.Error("invalid bid accepted by SetBid")
+	}
+}
+
+// ClearInto must reuse the caller's result buffers: after the first
+// call, repeated clears perform zero heap allocations.
+func TestClearIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ps := randomPool(rng, 500)
+	ix, err := NewMarketIndex(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 0.4 * poolMaxW(ps)
+	var res ClearingResult
+	if err := ix.ClearInto(&res, target); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := ix.ClearInto(&res, target); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ClearInto allocated %v times per clear, want 0", allocs)
+	}
+}
+
+// ClearCapped's capped branch must not run a full market clear: the
+// supply is evaluated at the cap first, observable both through the
+// solver-call counters and through Rounds = 0.
+func TestClearCappedShortCircuit(t *testing.T) {
+	ps := testPool(t)
+	uncapped, err := Clear(ps, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := uncapped.Price / 2
+	searches0, short0 := MarketStats()
+	capped, err := ClearCapped(ps, 6000, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	searches1, short1 := MarketStats()
+	if got := searches1 - searches0; got != 0 {
+		t.Errorf("capped branch ran %d full price searches, want 0", got)
+	}
+	if short1-short0 != 1 {
+		t.Errorf("short-circuit counter moved by %d, want 1", short1-short0)
+	}
+	if capped.Rounds != 0 {
+		t.Errorf("capped branch Rounds = %d, want 0 (no price search)", capped.Rounds)
+	}
+	if capped.Price != cap || capped.Feasible {
+		t.Errorf("capped result = %+v", capped)
+	}
+	// The capped outcome must match the legacy clear-then-discard path
+	// bit for bit (both materialize supply at the cap).
+	legacy, err := ClearCappedWithMode(ps, 6000, cap, ClearBisection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Price != legacy.Price || capped.SuppliedW != legacy.SuppliedW || capped.Feasible != legacy.Feasible {
+		t.Errorf("short-circuit %+v vs legacy %+v", capped, legacy)
+	}
+	for i := range capped.Reductions {
+		if capped.Reductions[i] != legacy.Reductions[i] {
+			t.Errorf("reduction[%d]: %v vs %v", i, capped.Reductions[i], legacy.Reductions[i])
+		}
+	}
+	// A loose cap must still run exactly one full search.
+	searches0, _ = MarketStats()
+	if _, err := ClearCapped(ps, 6000, uncapped.Price*2); err != nil {
+		t.Fatal(err)
+	}
+	searches1, _ = MarketStats()
+	if searches1-searches0 != 1 {
+		t.Errorf("loose cap ran %d searches, want 1", searches1-searches0)
+	}
+}
+
+// Regression for the old contract violation: ClearInteractive used to
+// overwrite the caller's ps[i].Bid with each round's rational bid. The
+// participants must now come back untouched.
+func TestInteractiveDoesNotMutateBids(t *testing.T) {
+	apps := []string{"XSBench", "RSBench", "SimpleMOC", "CoMD"}
+	ps, bs := interactiveSetup(t, apps, 16)
+	before := make([]Bid, len(ps))
+	for i, p := range ps {
+		before[i] = p.Bid
+	}
+	res, err := ClearInteractive(ps, bs, 2500, InteractiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	for i, p := range ps {
+		if p.Bid != before[i] {
+			t.Errorf("participant %d bid mutated: %+v -> %+v", i, before[i], p.Bid)
+		}
+	}
+}
+
+// The parallel rebid fan-out must be bit-identical to the sequential
+// path: same price, rounds, and reductions.
+func TestInteractiveParallelMatchesSequential(t *testing.T) {
+	apps := []string{"XSBench", "RSBench", "SimpleMOC", "CoMD", "HPCCG", "SWFFT", "miniMD", "miniFE"}
+	names := make([]string, 96) // above parallelBidFloor
+	for i := range names {
+		names[i] = apps[i%len(apps)]
+	}
+	target := float64(len(names)) * 8 * 125 * 0.3
+	run := func(workers int) *ClearingResult {
+		ps, bs := interactiveSetup(t, names, 8)
+		res, err := ClearInteractive(ps, bs, target, InteractiveConfig{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	for _, workers := range []int{0, 2, 4, 7} {
+		par := run(workers)
+		if par.Price != seq.Price || par.Rounds != seq.Rounds || par.Converged != seq.Converged {
+			t.Fatalf("workers=%d: %+v vs sequential %+v", workers, par, seq)
+		}
+		for i := range seq.Reductions {
+			if par.Reductions[i] != seq.Reductions[i] {
+				t.Fatalf("workers=%d: reduction[%d] %v vs %v", workers, i, par.Reductions[i], seq.Reductions[i])
+			}
+		}
+	}
+}
+
+// The interactive market must land on the same equilibrium regardless of
+// the per-round solver.
+func TestInteractiveSolverModesAgree(t *testing.T) {
+	apps := []string{"XSBench", "RSBench", "SimpleMOC", "CoMD", "HPCCG", "SWFFT"}
+	target := 3500.0
+	ps, bs := interactiveSetup(t, apps, 16)
+	fast, err := ClearInteractive(ps, bs, target, InteractiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps2, bs2 := interactiveSetup(t, apps, 16)
+	slow, err := ClearInteractive(ps2, bs2, target, InteractiveConfig{Mode: ClearBisection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Converged != slow.Converged || fast.Rounds != slow.Rounds {
+		t.Errorf("closed form %+v vs bisection %+v", fast, slow)
+	}
+	if math.Abs(fast.Price-slow.Price) > 1e-6*(1+slow.Price) {
+		t.Errorf("equilibrium price %v vs %v", fast.Price, slow.Price)
+	}
+}
+
+func TestClearModeString(t *testing.T) {
+	if ClearAuto.String() != "auto" || ClearClosedForm.String() != "closed-form" ||
+		ClearBisection.String() != "bisection" || ClearMode(9).String() != "unknown" {
+		t.Error("ClearMode strings")
+	}
+}
+
+// Edge parity between the solver modes for the degenerate inputs.
+func TestClearModeEdgeParity(t *testing.T) {
+	for _, mode := range []ClearMode{ClearClosedForm, ClearBisection} {
+		if res, err := ClearWithMode(nil, 0, mode); err != nil || !res.Feasible || res.Price != 0 {
+			t.Errorf("%v: zero target = %+v, %v", mode, res, err)
+		}
+		if _, err := ClearWithMode(nil, 10, mode); err != ErrNoParticipants {
+			t.Errorf("%v: err = %v, want ErrNoParticipants", mode, err)
+		}
+		bad := &Participant{JobID: "bad", Cores: 1, WattsPerCore: 0, Bid: Bid{Delta: 1}}
+		if _, err := ClearWithMode([]*Participant{bad}, 10, mode); err == nil {
+			t.Errorf("%v: invalid participant accepted", mode)
+		}
+		// A pool that can never supply anything: infeasible, saturation
+		// price at the 1e-6 floor in both modes.
+		dead := []*Participant{{JobID: "z", Cores: 4, WattsPerCore: 125, Bid: Bid{Delta: 0, B: 3}}}
+		res, err := ClearWithMode(dead, 50, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Feasible || res.SuppliedW != 0 || res.Price != 1e-6 {
+			t.Errorf("%v: dead pool result = %+v", mode, res)
+		}
+	}
+}
+
+// The cooperative-bid pool sanity check at real profile scale: the
+// closed form reproduces the bisection clearing on the perf-model pool
+// used throughout the test suite.
+func TestClosedFormOnProfilePool(t *testing.T) {
+	profiles := perf.CPUProfiles()
+	var ps []*Participant
+	for i := 0; i < 64; i++ {
+		prof := profiles[i%len(profiles)]
+		model := perf.NewCostModel(prof, 1, perf.CostLinear)
+		cores := float64(4 + i%13)
+		ps = append(ps, &Participant{
+			JobID:        fmt.Sprintf("p%d", i),
+			Cores:        cores,
+			Bid:          CooperativeBid(cores, model),
+			WattsPerCore: 125,
+			MaxFrac:      prof.MaxReduction(),
+		})
+	}
+	maxW := poolMaxW(ps)
+	for _, frac := range []float64{0.1, 0.4, 0.8, 0.99} {
+		cf, err := ClearWithMode(ps, frac*maxW, ClearClosedForm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi, err := ClearWithMode(ps, frac*maxW, ClearBisection)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cf.Price-bi.Price) > 1e-9*(1+cf.Price) {
+			t.Errorf("frac %v: price %v vs %v", frac, cf.Price, bi.Price)
+		}
+	}
+}

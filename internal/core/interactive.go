@@ -3,12 +3,20 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // Bidder is the user side of the interactive market: given the manager's
 // announced price, return an updated bid. Rational users respond with the
 // bid that maximizes their net gain (Eqn. (7)); RationalBidder in
 // bidding.go implements that strategy.
+//
+// ClearInteractive may invoke different bidders' RespondBid concurrently
+// (never the same bidder twice at once), so a Bidder must not mutate
+// state shared with other bidders. The package's bidders (RationalBidder,
+// StaticBidder) are read-only during RespondBid and satisfy this.
 type Bidder interface {
 	RespondBid(price float64) Bid
 }
@@ -25,6 +33,12 @@ type InteractiveConfig struct {
 	// Tolerance is the relative price change below which the market is
 	// considered converged (Nash equilibrium reached). Default 1e-6.
 	Tolerance float64
+	// Workers bounds the parallel RespondBid fan-out per round: 0 uses
+	// GOMAXPROCS, 1 forces sequential bidding. Results are written by
+	// bidder index, so the outcome is bit-identical to sequential.
+	Workers int
+	// Mode selects the per-round MClr solver (default: closed form).
+	Mode ClearMode
 }
 
 func (c *InteractiveConfig) normalize() {
@@ -39,15 +53,68 @@ func (c *InteractiveConfig) normalize() {
 	}
 }
 
+// parallelBidFloor is the pool size below which the rebid fan-out stays
+// sequential: goroutine startup dwarfs a handful of RespondBid calls.
+const parallelBidFloor = 64
+
+// respondBids collects every bidder's response to the announced price
+// into out, fanning out across a bounded worker pool when the pool is
+// large enough to pay for it. Workers claim fixed-size chunks of the
+// bidder range and write results by index, so the output is
+// deterministic and bit-identical to the sequential loop.
+func respondBids(bidders []Bidder, price float64, out []Bid, workers int) {
+	n := len(bidders)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < parallelBidFloor {
+		for i, b := range bidders {
+			out[i] = b.RespondBid(price)
+		}
+		return
+	}
+	const chunk = 32
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(next.Add(chunk)) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					out[i] = bidders[i].RespondBid(price)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // ClearInteractive runs the MPR-INT market: the manager announces a price,
 // every user responds with its gain-maximizing bid, the manager re-clears
 // MClr with the fresh bids, and the exchange repeats until the clearing
 // price stabilizes (guaranteed for the paper's supply function when users
 // bid rationally against convex costs) or MaxRounds is exhausted.
 //
-// ps[i].Bid is ignored; bidders[i] supplies job i's bid each round. The
-// returned result's Rounds counts the exchanges and Converged reports
-// whether the price stabilized within the budget.
+// ps[i].Bid is ignored and left untouched — bidders[i] supplies job i's
+// bid each round, and all per-round bids live in an internal working set,
+// so the caller's participants are never mutated. Rebidding fans out
+// across cfg.Workers goroutines (bit-identical to sequential), and the
+// per-round MClr solve reuses one MarketIndex across rounds, refreshing
+// only the bids that actually changed. The returned result's Rounds
+// counts the exchanges and Converged reports whether the price stabilized
+// within the budget.
 func ClearInteractive(ps []*Participant, bidders []Bidder, targetW float64, cfg InteractiveConfig) (*ClearingResult, error) {
 	if len(ps) != len(bidders) {
 		return nil, fmt.Errorf("core: %d participants but %d bidders", len(ps), len(bidders))
@@ -63,16 +130,49 @@ func ClearInteractive(ps []*Participant, bidders []Bidder, targetW float64, cfg 
 		return nil, ErrNoParticipants
 	}
 
+	// Working copies: the market operates on these, never on ps.
+	work := make([]Participant, len(ps))
+	workPtrs := make([]*Participant, len(ps))
+	for i, p := range ps {
+		work[i] = *p
+		workPtrs[i] = &work[i]
+	}
+	bids := make([]Bid, len(ps))
+
 	q := cfg.InitialPrice
-	var res *ClearingResult
-	var err error
+	var ix *MarketIndex
+	res := &ClearingResult{}
 	for round := 1; round <= cfg.MaxRounds; round++ {
-		for i, b := range bidders {
-			ps[i].Bid = b.RespondBid(q)
-		}
-		res, err = Clear(ps, targetW)
-		if err != nil {
-			return nil, err
+		respondBids(bidders, q, bids, cfg.Workers)
+		if cfg.Mode == ClearBisection {
+			for i := range workPtrs {
+				workPtrs[i].Bid = bids[i]
+			}
+			r, err := clearBisect(workPtrs, targetW)
+			if err != nil {
+				return nil, err
+			}
+			res = r
+		} else if ix == nil {
+			for i := range workPtrs {
+				workPtrs[i].Bid = bids[i]
+			}
+			var err error
+			if ix, err = NewMarketIndex(workPtrs); err != nil {
+				return nil, err
+			}
+			if err := ix.ClearInto(res, targetW); err != nil {
+				return nil, err
+			}
+		} else {
+			for i := range bids {
+				if err := ix.SetBid(i, bids[i]); err != nil {
+					return nil, err
+				}
+			}
+			if err := ix.ClearInto(res, targetW); err != nil {
+				return nil, err
+			}
 		}
 		res.Rounds = round
 		if math.Abs(res.Price-q) <= cfg.Tolerance*math.Max(q, 1e-12) {

@@ -9,9 +9,14 @@
 // describing how much resource reduction (in cores) they offer at a given
 // incentive price q. During a power emergency the HPC manager clears the
 // market (problem MClr) by finding the minimal price at which the
-// aggregate power reduction meets the target — a single-variable bisection,
+// aggregate power reduction meets the target — a single-variable search,
 // which is what makes MPR scale to tens of thousands of active jobs
-// (Fig. 10). Two market modes are provided: Clear (MPR-STAT, one-shot with
+// (Fig. 10). The default solver goes one step further than the paper's
+// bisection: because every supply function is the same scalar-
+// parameterized hyperbola, the clearing price has an exact closed form
+// per activation segment (see MarketIndex in index.go); the bisection
+// survives as a selectable cross-check (ClearBisection).
+// Two market modes are provided: Clear (MPR-STAT, one-shot with
 // static bids) and ClearInteractive (MPR-INT, iterative price/bid exchange
 // that converges to the socially optimal reduction). The package also
 // implements the paper's benchmark algorithms OPT (opt.go) and EQL
@@ -22,6 +27,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"mpr/internal/solver"
 )
@@ -147,16 +153,47 @@ type ClearingResult struct {
 	// reduction: q′·Σδ (core-hours per hour).
 	PayoutRate float64
 	// Rounds is the number of price iterations (1 for MPR-STAT; the
-	// number of manager↔user exchanges for MPR-INT).
+	// number of manager↔user exchanges for MPR-INT; 0 when ClearCapped
+	// settles at the price cap without running a price search).
 	Rounds int
 	// Converged is true when an interactive market reached a stable
 	// price within its round budget (always true for Clear).
 	Converged bool
 }
 
-// priceCeiling finds a price at which aggregate supply has saturated
-// (within eps of the maximum). Supply saturates once q ≥ b/(Δ−…); doubling
-// from the largest activation price quickly exceeds it.
+// ClearMode selects the MClr solver implementation.
+type ClearMode int
+
+const (
+	// ClearAuto uses the default solver: the closed-form segmented fast
+	// path (see MarketIndex).
+	ClearAuto ClearMode = iota
+	// ClearClosedForm forces the closed-form segmented solver.
+	ClearClosedForm
+	// ClearBisection forces the original O(M·log(1/tol)) bisection
+	// solver — kept as an independent cross-check implementation for the
+	// differential tests and benchmarks.
+	ClearBisection
+)
+
+// String names the mode for tables and logs.
+func (m ClearMode) String() string {
+	switch m {
+	case ClearAuto:
+		return "auto"
+	case ClearClosedForm:
+		return "closed-form"
+	case ClearBisection:
+		return "bisection"
+	}
+	return "unknown"
+}
+
+// priceCeiling returns the largest activation price across the pool
+// (with a small positive floor): the price at which every participant
+// has *begun* supplying. Callers that need the aggregate supply to
+// saturate keep doubling from here — see bracketPrice — since each
+// doubling halves every withheld amount b/q.
 func priceCeiling(ps []*Participant) float64 {
 	hi := 1e-6
 	for _, p := range ps {
@@ -164,20 +201,71 @@ func priceCeiling(ps []*Participant) float64 {
 			hi = ap
 		}
 	}
-	// At price 2^k · hi the withheld amount b/q halves each doubling;
-	// 64 doublings reduce it below any practical epsilon, but we cap the
-	// search when supply is within 1e-9 of max.
 	return hi
+}
+
+// bracketPrice doubles q from start until supplyW(q) reaches level or q
+// reaches cap. It is the shared bracketing step of the bisection path:
+// the feasible branch brackets the clearing price (level = target, no
+// cap), the infeasible branch finds the saturation price (level =
+// maxW − ε, cap = 1e15).
+func bracketPrice(supplyW func(float64) float64, start, level, cap float64) float64 {
+	q := start
+	for supplyW(q) < level && q < cap {
+		q *= 2
+	}
+	return q
 }
 
 // Clear solves MClr (Eqns. (4)-(5)) for a static set of bids — the
 // MPR-STAT market. It returns the minimal clearing price whose induced
 // supply meets targetW and the per-participant reductions at that price.
 //
-// Complexity: O(M · log(1/tol)) — one aggregate-supply evaluation per
-// bisection step. This is the scalability headline of the paper (Fig. 10:
-// sub-second clearing at 30,000 active jobs).
+// Complexity: O(M log M) to build the market index plus O(log M) for the
+// exact per-segment price solve (see MarketIndex; reuse the index
+// directly for amortized O(log M) clears). This is the scalability
+// headline of the paper (Fig. 10: sub-second clearing at 30,000 active
+// jobs), sharpened from the paper's bisection to a closed form.
 func Clear(ps []*Participant, targetW float64) (*ClearingResult, error) {
+	return ClearWithMode(ps, targetW, ClearAuto)
+}
+
+// ClearWithMode solves MClr with an explicit solver choice. ClearAuto
+// and ClearClosedForm run the exact segmented solver; ClearBisection
+// runs the original bisection as an independent cross-check. Both return
+// the same prices, reductions, and feasibility up to the bisection
+// tolerance (property-tested to 1e-9).
+func ClearWithMode(ps []*Participant, targetW float64, mode ClearMode) (*ClearingResult, error) {
+	if mode == ClearBisection {
+		return clearBisect(ps, targetW)
+	}
+	res := &ClearingResult{
+		Reductions: make([]float64, len(ps)),
+		TargetW:    targetW,
+		Feasible:   true,
+		Rounds:     1,
+		Converged:  true,
+	}
+	if targetW <= 0 {
+		return res, nil
+	}
+	if len(ps) == 0 {
+		return nil, ErrNoParticipants
+	}
+	ix, err := NewMarketIndex(ps)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.ClearInto(res, targetW); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// clearBisect is the original scalar-bisection MClr solver, O(M) per
+// supply evaluation and O(M·log(1/tol)) overall. It is retained verbatim
+// in behaviour as the cross-check path for the closed-form solver.
+func clearBisect(ps []*Participant, targetW float64) (*ClearingResult, error) {
 	res := &ClearingResult{
 		Reductions: make([]float64, len(ps)),
 		TargetW:    targetW,
@@ -209,14 +297,12 @@ func Clear(ps []*Participant, targetW float64) (*ClearingResult, error) {
 		maxW += p.WattsPerCore * p.Bid.Delta
 	}
 
+	statPriceSearches.Add(1)
 	if maxW < targetW {
 		// Infeasible: every job contributes its maximum; price settles
-		// at the ceiling where supply has saturated.
+		// at the point where supply has saturated.
 		res.Feasible = false
-		q := priceCeiling(ps)
-		for supplyW(q) < maxW-1e-9 && q < 1e15 {
-			q *= 2
-		}
+		q := bracketPrice(supplyW, priceCeiling(ps), maxW-1e-9, 1e15)
 		res.Price = q
 		for i, p := range ps {
 			res.Reductions[i] = p.Bid.Supply(q)
@@ -227,12 +313,11 @@ func Clear(ps []*Participant, targetW float64) (*ClearingResult, error) {
 	}
 
 	// Bracket the clearing price, then bisect for the minimal feasible q.
+	// The tolerance is tight (1e-13 relative to the bracket) so this path
+	// stays a meaningful 1e-9-level cross-check of the closed form.
 	lo := 0.0
-	hi := priceCeiling(ps)
-	for supplyW(hi) < targetW {
-		hi *= 2
-	}
-	q, ok := solver.BisectMin(func(q float64) float64 { return supplyW(q) - targetW }, lo, hi, 1e-10*hi+1e-15)
+	hi := bracketPrice(supplyW, priceCeiling(ps), targetW, math.Inf(1))
+	q, ok := solver.BisectMin(func(q float64) float64 { return supplyW(q) - targetW }, lo, hi, 1e-13*hi+1e-15)
 	if !ok {
 		// Cannot happen: maxW >= target and supply(hi) >= target.
 		return nil, fmt.Errorf("core: clearing bisection failed unexpectedly")
@@ -254,24 +339,79 @@ func Clear(ps []*Participant, targetW float64) (*ClearingResult, error) {
 // through Feasible=false; the manager must cover the remainder by direct
 // capping.
 func ClearCapped(ps []*Participant, targetW, priceCap float64) (*ClearingResult, error) {
+	return ClearCappedWithMode(ps, targetW, priceCap, ClearAuto)
+}
+
+// ClearCappedWithMode is ClearCapped with an explicit solver choice. The
+// closed-form modes evaluate the aggregate supply at priceCap first —
+// an O(log M) index lookup — and only run a full price search when the
+// cap does not bind; the capped branch therefore performs no MClr solve
+// at all (observable through Rounds = 0 and the MarketStats counters).
+// ClearBisection reproduces the original clear-then-discard behaviour.
+func ClearCappedWithMode(ps []*Participant, targetW, priceCap float64, mode ClearMode) (*ClearingResult, error) {
 	if priceCap <= 0 {
 		return nil, fmt.Errorf("core: price cap must be positive, got %v", priceCap)
 	}
-	res, err := Clear(ps, targetW)
+	capResult := func(res *ClearingResult) *ClearingResult {
+		res.Price = priceCap
+		res.SuppliedW = 0
+		for i, p := range ps {
+			res.Reductions[i] = p.Bid.Supply(priceCap)
+			res.SuppliedW += p.WattsPerCore * res.Reductions[i]
+		}
+		res.PayoutRate = payout(priceCap, res.Reductions)
+		res.Feasible = res.SuppliedW >= targetW-1e-9
+		return res
+	}
+	if mode == ClearBisection {
+		res, err := clearBisect(ps, targetW)
+		if err != nil {
+			return nil, err
+		}
+		if res.Price <= priceCap {
+			return res, nil
+		}
+		return capResult(res), nil
+	}
+	if targetW <= 0 {
+		return &ClearingResult{
+			Reductions: make([]float64, len(ps)),
+			TargetW:    targetW,
+			Feasible:   true,
+			Rounds:     1,
+			Converged:  true,
+		}, nil
+	}
+	if len(ps) == 0 {
+		return nil, ErrNoParticipants
+	}
+	ix, err := NewMarketIndex(ps)
 	if err != nil {
 		return nil, err
 	}
-	if res.Price <= priceCap {
-		return res, nil
+	if ix.SupplyW(priceCap) < targetW {
+		// The cap binds: no clearing price at or below it can meet the
+		// target, so settle at the cap directly without a price search.
+		statCappedShortCircuits.Add(1)
+		res := &ClearingResult{
+			Reductions: make([]float64, len(ps)),
+			TargetW:    targetW,
+			Rounds:     0,
+			Converged:  true,
+		}
+		return capResult(res), nil
 	}
-	res.Price = priceCap
-	res.SuppliedW = 0
-	for i, p := range ps {
-		res.Reductions[i] = p.Bid.Supply(priceCap)
-		res.SuppliedW += p.WattsPerCore * res.Reductions[i]
+	// The cap is loose: the minimal clearing price is ≤ priceCap.
+	res := &ClearingResult{
+		Reductions: make([]float64, len(ps)),
+		TargetW:    targetW,
+		Feasible:   true,
+		Rounds:     1,
+		Converged:  true,
 	}
-	res.PayoutRate = payout(priceCap, res.Reductions)
-	res.Feasible = res.SuppliedW >= targetW-1e-9
+	if err := ix.ClearInto(res, targetW); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 

@@ -83,6 +83,10 @@ type Config struct {
 	BufferFrac       float64
 	// Interactive tunes the MPR-INT loop.
 	Interactive core.InteractiveConfig
+	// ClearMode selects the MClr solver for the market algorithms
+	// (default ClearAuto = closed-form segmented solver; ClearBisection
+	// keeps the legacy search, useful as a cross-check).
+	ClearMode core.ClearMode
 	// Backfill enables EASY backfill in the admission scheduler.
 	Backfill bool
 	// MarketDelaySlots delays the reduction taking effect after an
@@ -174,6 +178,9 @@ func (c *Config) Normalize() error {
 	}
 	if c.PhasePeriodSlots < 2 {
 		return fmt.Errorf("sim: phase period must be at least 2 slots, got %d", c.PhasePeriodSlots)
+	}
+	if c.Interactive.Mode == core.ClearAuto {
+		c.Interactive.Mode = c.ClearMode
 	}
 	return nil
 }

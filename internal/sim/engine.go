@@ -520,7 +520,7 @@ func computeReduction(cfg *Config, active []*simJob, targetW float64) (rounds in
 	var reductions []float64
 	switch cfg.Algorithm {
 	case AlgMPRStat:
-		r, cerr := core.Clear(parts, targetW)
+		r, cerr := core.ClearWithMode(parts, targetW, cfg.ClearMode)
 		if cerr != nil {
 			return 0, 0, false, nil, cerr
 		}
