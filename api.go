@@ -2,6 +2,7 @@ package mpr
 
 import (
 	"io"
+	"net/http"
 
 	"mpr/internal/agentproto"
 	"mpr/internal/carbon"
@@ -14,6 +15,7 @@ import (
 	"mpr/internal/sim"
 	"mpr/internal/stats"
 	"mpr/internal/tco"
+	"mpr/internal/telemetry"
 	"mpr/internal/trace"
 )
 
@@ -101,9 +103,19 @@ func ClearCappedWithMode(ps []*Participant, targetW, priceCap float64, mode Clea
 
 // MarketStats reports the cumulative solver-call counters (full price
 // searches, capped short-circuits) for observability in tests and ops.
+//
+// Deprecated: the counters now live in the default telemetry registry
+// (see MetricsRegistry); read them there, or via InstrumentMarket with a
+// private registry. This shim reads the default registry and will be
+// removed once callers migrate.
 func MarketStats() (priceSearches, cappedShortCircuits int64) {
 	return core.MarketStats()
 }
+
+// InstrumentMarket points the market solvers' counters at reg; nil
+// installs the no-op registry (the zero-overhead benchmark path). The
+// default is the process-wide DefaultMetrics registry.
+func InstrumentMarket(reg *MetricsRegistry) { core.Instrument(reg) }
 
 // ClearInteractive runs the MPR-INT market loop to (Nash) convergence.
 func ClearInteractive(ps []*Participant, bidders []Bidder, targetW float64, cfg InteractiveConfig) (*ClearingResult, error) {
@@ -370,6 +382,40 @@ type TCOBreakdown = tco.Breakdown
 // EvaluateTCO prices a capacity plan (Section III-F's TCO discussion).
 func EvaluateTCO(p TCOParams, s TCOScenario) (*TCOBreakdown, error) {
 	return tco.Evaluate(p, s)
+}
+
+// --- Telemetry ------------------------------------------------------------
+
+// MetricsRegistry is a stdlib-only metrics registry: atomic counters and
+// gauges, lock-striped histograms, and labeled counter families. A nil
+// *MetricsRegistry is the no-op registry — every method is safe and free.
+type MetricsRegistry = telemetry.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry's metrics.
+type MetricsSnapshot = telemetry.Snapshot
+
+// EventTracer is a ring-buffered structured event recorder for market
+// clearing rounds and emergency transitions.
+type EventTracer = telemetry.Tracer
+
+// TraceEvent is one recorded telemetry event.
+type TraceEvent = telemetry.Event
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// DefaultMetrics returns the process-wide registry the market solvers
+// report into by default.
+func DefaultMetrics() *MetricsRegistry { return telemetry.Default() }
+
+// NewEventTracer builds a ring-buffered tracer holding the last capacity
+// events (capacity <= 0 selects the default of 256).
+func NewEventTracer(capacity int) *EventTracer { return telemetry.NewTracer(capacity) }
+
+// MetricsHandler serves reg as Prometheus text at /metrics and a
+// human-readable clearing-round view at /debug/market (tracer may be nil).
+func MetricsHandler(reg *MetricsRegistry, tracer *EventTracer) http.Handler {
+	return telemetry.Handler(reg, tracer)
 }
 
 // --- Experiment harness --------------------------------------------------

@@ -19,6 +19,7 @@ import (
 	"mpr/internal/core"
 	"mpr/internal/experiments"
 	"mpr/internal/perf"
+	"mpr/internal/telemetry"
 )
 
 var benchPrint = os.Getenv("MPR_BENCH_PRINT") == "1"
@@ -140,6 +141,63 @@ func benchClearMode(b *testing.B, n int, mode core.ClearMode) {
 		if _, err := core.ClearWithMode(parts, target, mode); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchClearIntoSteady is benchClear with an explicit telemetry wiring:
+// the no-op (nil) registry must keep the steady-state re-clear at zero
+// allocations, and a live registry shows the instrumentation overhead.
+func benchClearIntoSteady(b *testing.B, n int, reg *telemetry.Registry) {
+	core.Instrument(reg)
+	defer core.Instrument(telemetry.Default())
+	benchClear(b, n)
+}
+
+// Steady-state ClearInto with telemetry disabled (the Nop registry) and
+// enabled — the acceptance gate for the observability layer: the Nop
+// variant must report 0 allocs/op and stay within noise of
+// BenchmarkMarketClear1000.
+func BenchmarkClearIntoSteady(b *testing.B) {
+	benchClearIntoSteady(b, 1000, telemetry.Nop())
+}
+func BenchmarkClearIntoSteadyInstrumented(b *testing.B) {
+	benchClearIntoSteady(b, 1000, telemetry.NewRegistry())
+}
+
+// TestClearIntoSteadyZeroAlloc is the CI-enforced form of the benchmark
+// above: with the Nop registry installed, a steady-state re-clear must
+// not allocate.
+func TestClearIntoSteadyZeroAlloc(t *testing.T) {
+	profiles := perf.CPUProfiles()
+	parts := make([]*core.Participant, 256)
+	var maxW float64
+	for i := range parts {
+		prof := profiles[i%len(profiles)]
+		model := perf.NewCostModel(prof, 1, perf.CostLinear)
+		parts[i] = &core.Participant{
+			JobID:        fmt.Sprintf("j%d", i),
+			Cores:        8,
+			Bid:          core.CooperativeBid(8, model),
+			WattsPerCore: 125,
+			MaxFrac:      prof.MaxReduction(),
+		}
+		maxW += parts[i].WattsPerCore * parts[i].Bid.Delta
+	}
+	ix, err := core.NewMarketIndex(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Instrument(telemetry.Nop())
+	defer core.Instrument(telemetry.Default())
+	var res core.ClearingResult
+	target := 0.4 * maxW
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := ix.ClearInto(&res, target); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ClearInto with Nop registry allocates: %v allocs/op", allocs)
 	}
 }
 

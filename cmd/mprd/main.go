@@ -10,6 +10,10 @@
 // reduction orders, lifts the emergency, and exits. With -target 0 the
 // daemon keeps running and reads reduction targets (watts, one per line)
 // from stdin, clearing one market per line.
+//
+// With -metrics ADDR (e.g. -metrics :9090) the daemon also serves its
+// telemetry over HTTP: Prometheus text format at /metrics and a
+// human-readable view of the last clearing rounds at /debug/market.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -24,30 +29,53 @@ import (
 
 	"mpr/internal/agentproto"
 	"mpr/internal/stats"
+	"mpr/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		listen = flag.String("listen", "127.0.0.1:7946", "TCP listen address")
-		agents = flag.Int("agents", 1, "number of agents to wait for")
-		target = flag.Float64("target", 0, "one-shot power reduction target in watts (0 = interactive stdin mode)")
-		wait   = flag.Duration("wait", 30*time.Second, "how long to wait for agents")
+		listen  = flag.String("listen", "127.0.0.1:7946", "TCP listen address")
+		agents  = flag.Int("agents", 1, "number of agents to wait for")
+		target  = flag.Float64("target", 0, "one-shot power reduction target in watts (0 = interactive stdin mode)")
+		wait    = flag.Duration("wait", 30*time.Second, "how long to wait for agents")
+		metrics = flag.String("metrics", "", "HTTP address serving /metrics and /debug/market (empty = disabled)")
 	)
 	flag.Parse()
 
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(1024)
 	m, err := agentproto.NewManager(*listen, agentproto.ManagerConfig{
-		Logf: log.Printf,
+		Logf:      log.Printf,
+		Telemetry: reg,
+		Tracer:    tracer,
 	})
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	defer m.Close()
 	log.Printf("mprd listening on %s, waiting for %d agents", m.Addr(), *agents)
 
+	if *metrics != "" {
+		srv := &http.Server{Addr: *metrics, Handler: telemetry.Handler(reg, tracer)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		defer srv.Close()
+		log.Printf("telemetry on http://%s/metrics and /debug/market", *metrics)
+	}
+
 	deadline := time.Now().Add(*wait)
 	for m.AgentCount() < *agents {
 		if time.Now().After(deadline) {
-			log.Fatalf("only %d of %d agents connected within %s", m.AgentCount(), *agents, *wait)
+			log.Printf("only %d of %d agents connected within %s", m.AgentCount(), *agents, *wait)
+			return 1
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
@@ -56,7 +84,7 @@ func main() {
 	if *target > 0 {
 		runMarket(m, *target)
 		m.Lift()
-		return
+		return 0
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -65,20 +93,28 @@ func main() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
 		case line == "":
+			// Blank lines are tolerated quietly (interactive convenience).
 		case line == "quit":
-			return
+			return 0
 		case line == "lift":
 			m.Lift()
 			log.Printf("emergency lifted")
 		default:
 			w, err := strconv.ParseFloat(line, 64)
 			if err != nil || w <= 0 {
-				log.Printf("need a positive wattage, 'lift', or 'quit'; got %q", line)
+				// Malformed target: report and keep serving — a typo must
+				// not take the market down mid-emergency.
+				log.Printf("ignoring malformed target %q: need a positive wattage, 'lift', or 'quit'", line)
 				continue
 			}
 			runMarket(m, w)
 		}
 	}
+	if err := sc.Err(); err != nil {
+		log.Printf("reading stdin: %v", err)
+		return 1
+	}
+	return 0
 }
 
 func runMarket(m *agentproto.Manager, targetW float64) {

@@ -9,6 +9,29 @@ import (
 	"time"
 
 	"mpr/internal/core"
+	"mpr/internal/telemetry"
+)
+
+// Metric names the manager registers.
+const (
+	// MetricAgentEvents counts agent lifecycle events, labeled "connect",
+	// "disconnect", or "rejected".
+	MetricAgentEvents = "mpr_agent_events_total"
+	// MetricAgentsConnected gauges the currently registered agents.
+	MetricAgentsConnected = "mpr_agents_connected"
+	// MetricBidRTT is the RespondBid round-trip histogram in seconds:
+	// price broadcast to bid receipt, per agent per round.
+	MetricBidRTT = "mpr_agent_bid_rtt_seconds"
+	// MetricMalformed counts protocol violations: bad hellos, unexpected
+	// message types, and stale-round bids.
+	MetricMalformed = "mpr_agent_malformed_messages_total"
+	// MetricMarkets counts finished RunMarket invocations; MetricRounds
+	// the price rounds across them.
+	MetricMarkets = "mpr_manager_markets_total"
+	MetricRounds  = "mpr_manager_rounds_total"
+	// MetricBidTimeouts counts rounds that hit the per-round timeout
+	// before every agent answered.
+	MetricBidTimeouts = "mpr_manager_bid_timeouts_total"
 )
 
 // ManagerConfig parameterizes the market manager daemon.
@@ -24,8 +47,16 @@ type ManagerConfig struct {
 	// bids — the paper's safety timeout ("e.g., 30 seconds" overall).
 	// Default 2 s per round.
 	RoundTimeout time.Duration
-	// Logf, when set, receives protocol diagnostics.
+	// Logf, when set, receives protocol diagnostics. Nil is safe and
+	// logs nothing — library users need not wire logging.
 	Logf func(format string, args ...interface{})
+	// Telemetry, when set, receives the manager's connection, latency,
+	// and protocol metrics. Nil (the Nop registry) disables them.
+	Telemetry *telemetry.Registry
+	// Tracer, when set, receives one "market_round" event per price
+	// iteration and one "market_clear" per finished market — the feed
+	// behind mprd's /debug/market page.
+	Tracer *telemetry.Tracer
 }
 
 func (c *ManagerConfig) normalize() {
@@ -71,6 +102,25 @@ type Manager struct {
 	agents map[string]*agentConn
 	closed bool
 	wg     sync.WaitGroup
+
+	// Telemetry handles; all nil (no-op) without a configured registry.
+	connects    *telemetry.Counter
+	disconnects *telemetry.Counter
+	rejected    *telemetry.Counter
+	connected   *telemetry.Gauge
+	bidRTT      *telemetry.Histogram
+	malformed   *telemetry.Counter
+	markets     *telemetry.Counter
+	rounds      *telemetry.Counter
+	timeouts    *telemetry.Counter
+}
+
+// logf forwards to cfg.Logf when set; safe even on an un-normalized
+// config so a nil Logf can never panic a market.
+func (m *Manager) logf(format string, args ...interface{}) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
 }
 
 // NewManager starts a manager listening on addr (e.g. "127.0.0.1:0").
@@ -81,6 +131,18 @@ func NewManager(addr string, cfg ManagerConfig) (*Manager, error) {
 		return nil, fmt.Errorf("agentproto: listen: %w", err)
 	}
 	m := &Manager{cfg: cfg, listener: ln, agents: make(map[string]*agentConn)}
+	if reg := cfg.Telemetry; reg != nil {
+		events := reg.CounterFamily(MetricAgentEvents, "Agent lifecycle events.", "event")
+		m.connects = events.With("connect")
+		m.disconnects = events.With("disconnect")
+		m.rejected = events.With("rejected")
+		m.connected = reg.Gauge(MetricAgentsConnected, "Currently registered agents.")
+		m.bidRTT = reg.Histogram(MetricBidRTT, "RespondBid round-trip latency in seconds.", telemetry.LatencySecondsBuckets)
+		m.malformed = reg.Counter(MetricMalformed, "Protocol violations: bad hellos, unexpected types, stale-round bids.")
+		m.markets = reg.Counter(MetricMarkets, "Finished RunMarket invocations.")
+		m.rounds = reg.Counter(MetricRounds, "Price rounds across all markets.")
+		m.timeouts = reg.Counter(MetricBidTimeouts, "Rounds that timed out before all bids arrived.")
+	}
 	m.wg.Add(1)
 	go m.acceptLoop()
 	return m, nil
@@ -134,11 +196,15 @@ func (m *Manager) serve(conn net.Conn) {
 	codec := NewCodec(conn)
 	hello, err := codec.Recv()
 	if err != nil || hello.Type != MsgHello || hello.JobID == "" {
+		m.malformed.Inc()
+		m.rejected.Inc()
 		_ = codec.Send(Message{Type: MsgError, Reason: "expected hello with job_id"})
 		conn.Close()
 		return
 	}
 	if hello.Cores <= 0 || hello.WattsPerCore <= 0 || hello.MaxFrac <= 0 {
+		m.malformed.Inc()
+		m.rejected.Inc()
 		_ = codec.Send(Message{Type: MsgError, Reason: "hello needs positive cores, watts_per_core, max_frac"})
 		conn.Close()
 		return
@@ -153,13 +219,17 @@ func (m *Manager) serve(conn net.Conn) {
 	}
 	if _, dup := m.agents[hello.JobID]; dup {
 		m.mu.Unlock()
+		m.rejected.Inc()
 		_ = codec.Send(Message{Type: MsgError, Reason: "duplicate job_id"})
 		conn.Close()
 		return
 	}
 	m.agents[hello.JobID] = a
+	n := len(m.agents)
 	m.mu.Unlock()
-	m.cfg.Logf("agent %s registered (%.0f cores)", hello.JobID, hello.Cores)
+	m.connects.Inc()
+	m.connected.Set(float64(n))
+	m.logf("agent %s registered (%.0f cores)", hello.JobID, hello.Cores)
 
 	for {
 		msg, err := codec.Recv()
@@ -171,13 +241,21 @@ func (m *Manager) serve(conn net.Conn) {
 			case a.bids <- msg:
 			default: // drop stale bid
 			}
+		} else {
+			// Agents only ever send hellos and bids; anything else is a
+			// confused or hostile peer worth counting.
+			m.malformed.Inc()
+			m.logf("agent %s sent unexpected %s", hello.JobID, msg.Type)
 		}
 	}
 	m.mu.Lock()
 	delete(m.agents, hello.JobID)
+	n = len(m.agents)
 	m.mu.Unlock()
 	conn.Close()
-	m.cfg.Logf("agent %s disconnected", hello.JobID)
+	m.disconnects.Inc()
+	m.connected.Set(float64(n))
+	m.logf("agent %s disconnected", hello.JobID)
 }
 
 // MarketOutcome is the result of one interactive market run over the
@@ -222,9 +300,10 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 		// Broadcast the price and gather this round's bids.
 		for _, a := range agents {
 			if err := a.send(Message{Type: MsgPrice, Round: round, Price: price, TargetW: targetW}); err != nil {
-				m.cfg.Logf("price to %s failed: %v", a.hello.JobID, err)
+				m.logf("price to %s failed: %v", a.hello.JobID, err)
 			}
 		}
+		broadcastAt := time.Now()
 		deadline := time.After(m.cfg.RoundTimeout)
 	collect:
 		for i, a := range agents {
@@ -234,15 +313,18 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 					if bid.Round != round {
 						// Bids must echo the round they answer; anything
 						// else is stale (or fabricated) and is discarded.
+						m.malformed.Inc()
 						continue
 					}
+					m.bidRTT.Observe(time.Since(broadcastAt).Seconds())
 					parts[i].Bid = core.Bid{Delta: bid.Delta, B: bid.B}
 					continue collect
 				case <-deadline:
 					// Keep the agent's previous bid (possibly zero) — the
 					// paper's timeout rule: the market proceeds with the
 					// last information available.
-					m.cfg.Logf("round %d: timeout waiting for %s", round, a.hello.JobID)
+					m.timeouts.Inc()
+					m.logf("round %d: timeout waiting for %s", round, a.hello.JobID)
 					deadline = closedTimeChan()
 					continue collect
 				}
@@ -253,6 +335,9 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 		if err != nil {
 			return nil, err
 		}
+		m.rounds.Inc()
+		m.cfg.Tracer.Emit(telemetry.Event{Name: "market_round", Round: round,
+			Price: res.Price, TargetW: targetW, SuppliedW: res.SuppliedW, Value: price})
 		if math.Abs(res.Price-price) <= m.cfg.Tolerance*math.Max(price, 1e-12) {
 			converged = true
 			break
@@ -261,6 +346,13 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 	}
 	res.Rounds = rounds
 	res.Converged = converged
+	m.markets.Inc()
+	clearLabel := "converged"
+	if !converged {
+		clearLabel = "budget_exhausted"
+	}
+	m.cfg.Tracer.Emit(telemetry.Event{Name: "market_clear", Round: rounds,
+		Price: res.Price, TargetW: targetW, SuppliedW: res.SuppliedW, Label: clearLabel})
 
 	out := &MarketOutcome{Result: res, Orders: make(map[string]float64, len(agents))}
 	for i, a := range agents {
@@ -272,7 +364,7 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 			ReductionCores: red,
 			PaymentRate:    res.Price * red,
 		}); err != nil {
-			m.cfg.Logf("order to %s failed: %v", a.hello.JobID, err)
+			m.logf("order to %s failed: %v", a.hello.JobID, err)
 		}
 	}
 	return out, nil
@@ -288,7 +380,7 @@ func (m *Manager) Lift() {
 	m.mu.Unlock()
 	for _, a := range agents {
 		if err := a.send(Message{Type: MsgLift}); err != nil {
-			m.cfg.Logf("lift to %s failed: %v", a.hello.JobID, err)
+			m.logf("lift to %s failed: %v", a.hello.JobID, err)
 		}
 	}
 }

@@ -1,0 +1,82 @@
+package agentproto
+
+import (
+	"testing"
+	"time"
+
+	"mpr/internal/telemetry"
+)
+
+// TestManagerTelemetry runs a live TCP market with a private registry and
+// tracer and checks the manager's connect/round/RTT instrumentation.
+func TestManagerTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(64)
+	m, err := NewManager("127.0.0.1:0", ManagerConfig{
+		RoundTimeout: 500 * time.Millisecond,
+		Telemetry:    reg,
+		Tracer:       tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+
+	apps := []string{"XSBench", "RSBench", "CoMD"}
+	for _, app := range apps {
+		dialAgent(t, m, app, app, 16)
+	}
+	waitAgents(t, m, len(apps))
+
+	out, err := m.RunMarket(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counter(MetricAgentEvents + `{event="connect"}`); got != int64(len(apps)) {
+		t.Fatalf("connects = %d, want %d", got, len(apps))
+	}
+	if got := s.Gauges[MetricAgentsConnected]; got != float64(len(apps)) {
+		t.Fatalf("connected gauge = %g, want %d", got, len(apps))
+	}
+	if got := s.Counter(MetricMarkets); got != 1 {
+		t.Fatalf("markets = %d, want 1", got)
+	}
+	if got := s.Counter(MetricRounds); got != int64(out.Result.Rounds) {
+		t.Fatalf("rounds counter = %d, result rounds %d", got, out.Result.Rounds)
+	}
+	// One RTT observation per agent per round, minus any timeouts.
+	rtt := s.Histogram(MetricBidRTT)
+	want := int64(len(apps)*out.Result.Rounds) - s.Counter(MetricBidTimeouts)
+	if rtt.Count != want {
+		t.Fatalf("RTT observations = %d, want %d", rtt.Count, want)
+	}
+	if rtt.Count > 0 && rtt.Sum <= 0 {
+		t.Fatalf("RTT sum = %g, want > 0", rtt.Sum)
+	}
+	if got := s.Counter(MetricMalformed); got != 0 {
+		t.Fatalf("malformed = %d, want 0", got)
+	}
+
+	// The tracer holds one market_round per round plus the final clear.
+	var roundEvents, clearEvents int
+	for _, e := range tracer.Events() {
+		switch e.Name {
+		case "market_round":
+			roundEvents++
+		case "market_clear":
+			clearEvents++
+			if e.Label != "converged" && e.Label != "budget_exhausted" {
+				t.Fatalf("market_clear label = %q", e.Label)
+			}
+		}
+	}
+	wantRounds := out.Result.Rounds
+	if cap := 64 - clearEvents; wantRounds > cap {
+		wantRounds = cap
+	}
+	if roundEvents != wantRounds || clearEvents != 1 {
+		t.Fatalf("trace: %d market_round + %d market_clear, want %d + 1",
+			roundEvents, clearEvents, wantRounds)
+	}
+}

@@ -3,24 +3,7 @@ package core
 import (
 	"math"
 	"sort"
-	"sync/atomic"
 )
-
-// Solver-call counters. They exist so tests and benchmarks can observe
-// *how* a result was produced — e.g. that ClearCapped's capped branch
-// never runs a full price search — without threading diagnostics through
-// every return value. They are cumulative across the process.
-var (
-	statPriceSearches       atomic.Int64 // full MClr price solves (any mode)
-	statCappedShortCircuits atomic.Int64 // ClearCapped settled at the cap without a price search
-)
-
-// MarketStats returns the cumulative solver-call counters: the number of
-// full MClr price searches performed and the number of ClearCapped calls
-// that short-circuited at the price cap without one.
-func MarketStats() (priceSearches, cappedShortCircuits int64) {
-	return statPriceSearches.Load(), statCappedShortCircuits.Load()
-}
 
 // MarketIndex is the reusable fast path for MClr. It precomputes, per
 // participant, the weighted supply terms WΔᵢ = WattsPerCoreᵢ·Δᵢ and
@@ -206,7 +189,7 @@ func (ix *MarketIndex) MaxSupplyW() float64 { return ix.maxW }
 // activation segments with an O(log M) supply evaluation per probe, then
 // one closed-form division inside the located segment.
 func (ix *MarketIndex) minPrice(targetW float64) (price float64, feasible bool) {
-	statPriceSearches.Add(1)
+	met().priceSearches.Inc()
 	if targetW <= 0 {
 		return 0, true
 	}
@@ -315,6 +298,7 @@ func (ix *MarketIndex) ClearInto(res *ClearingResult, targetW float64) error {
 	if n == 0 {
 		return ErrNoParticipants
 	}
+	met().clearsClosed.Inc()
 	price, feasible := ix.minPrice(targetW)
 	res.Price = price
 	res.Feasible = feasible

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"mpr/internal/telemetry"
 )
 
 // Bidder is the user side of the interactive market: given the manager's
@@ -39,6 +41,11 @@ type InteractiveConfig struct {
 	Workers int
 	// Mode selects the per-round MClr solver (default: closed form).
 	Mode ClearMode
+	// Trace, when set, receives one "int_round" event per manager↔user
+	// exchange (round number, announced price, cleared price, aggregate
+	// supply) — the convergence trajectory of Figs. 9-11. Nil (the
+	// default) emits nothing and costs nothing.
+	Trace *telemetry.Trace
 }
 
 func (c *InteractiveConfig) normalize() {
@@ -175,12 +182,30 @@ func ClearInteractive(ps []*Participant, bidders []Bidder, targetW float64, cfg 
 			}
 		}
 		res.Rounds = round
+		cfg.Trace.Emit(telemetry.Event{
+			Name: "int_round", Round: round,
+			Price: res.Price, TargetW: targetW, SuppliedW: res.SuppliedW,
+			Value: q, // the price announced this round
+		})
 		if math.Abs(res.Price-q) <= cfg.Tolerance*math.Max(q, 1e-12) {
 			res.Converged = true
+			finishInteractive(res)
 			return res, nil
 		}
 		q = res.Price
 	}
 	res.Converged = false
+	finishInteractive(res)
 	return res, nil
+}
+
+// finishInteractive records the interactive market's outcome metrics.
+func finishInteractive(res *ClearingResult) {
+	m := met()
+	m.intRounds.Observe(float64(res.Rounds))
+	if res.Converged {
+		m.intConverged.Inc()
+	} else {
+		m.intExhausted.Inc()
+	}
 }

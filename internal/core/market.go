@@ -297,7 +297,8 @@ func clearBisect(ps []*Participant, targetW float64) (*ClearingResult, error) {
 		maxW += p.WattsPerCore * p.Bid.Delta
 	}
 
-	statPriceSearches.Add(1)
+	met().clearsBisect.Inc()
+	met().priceSearches.Inc()
 	if maxW < targetW {
 		// Infeasible: every job contributes its maximum; price settles
 		// at the point where supply has saturated.
@@ -392,7 +393,7 @@ func ClearCappedWithMode(ps []*Participant, targetW, priceCap float64, mode Clea
 	if ix.SupplyW(priceCap) < targetW {
 		// The cap binds: no clearing price at or below it can meet the
 		// target, so settle at the cap directly without a price search.
-		statCappedShortCircuits.Add(1)
+		met().cappedShort.Inc()
 		res := &ClearingResult{
 			Reductions: make([]float64, len(ps)),
 			TargetW:    targetW,

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"mpr/internal/telemetry"
+)
+
+// Metric names the core market registers. Exported as constants so shims,
+// dashboards, and tests address them without string drift.
+const (
+	// MetricPriceSearches counts full MClr price solves (any mode).
+	MetricPriceSearches = "mpr_core_price_searches_total"
+	// MetricCappedShortCircuits counts ClearCapped calls settled at the
+	// price cap without running a price search.
+	MetricCappedShortCircuits = "mpr_core_capped_short_circuits_total"
+	// MetricClears counts market clears, labeled by solver mode.
+	MetricClears = "mpr_core_clears_total"
+	// MetricInteractiveRounds is the rounds-to-convergence histogram of
+	// the MPR-INT loop.
+	MetricInteractiveRounds = "mpr_core_interactive_rounds"
+	// MetricInteractiveOutcomes counts finished interactive markets,
+	// labeled "converged" or "budget_exhausted".
+	MetricInteractiveOutcomes = "mpr_core_interactive_outcomes_total"
+)
+
+// coreMetrics holds the pre-resolved instrument handles the hot paths
+// touch. Handles are nil (no-op) under the Nop registry, so the fast path
+// cost is one atomic pointer load plus a nil check per site.
+type coreMetrics struct {
+	priceSearches *telemetry.Counter
+	cappedShort   *telemetry.Counter
+	clearsClosed  *telemetry.Counter
+	clearsBisect  *telemetry.Counter
+	intRounds     *telemetry.Histogram
+	intConverged  *telemetry.Counter
+	intExhausted  *telemetry.Counter
+}
+
+var activeMetrics atomic.Pointer[coreMetrics]
+
+func init() { Instrument(telemetry.Default()) }
+
+// Instrument points the package's market instrumentation at reg.
+// Passing telemetry.Nop() (nil) disables it entirely; the default is the
+// process-global telemetry.Default() registry. Safe to call concurrently
+// with clears.
+func Instrument(reg *telemetry.Registry) {
+	m := &coreMetrics{}
+	if reg != nil {
+		clears := reg.CounterFamily(MetricClears, "Market clears by MClr solver mode.", "mode")
+		m.priceSearches = reg.Counter(MetricPriceSearches, "Full MClr price solves (any mode).")
+		m.cappedShort = reg.Counter(MetricCappedShortCircuits, "ClearCapped calls settled at the cap without a price search.")
+		m.clearsClosed = clears.With("closed_form")
+		m.clearsBisect = clears.With("bisection")
+		m.intRounds = reg.Histogram(MetricInteractiveRounds, "MPR-INT rounds to convergence.", telemetry.RoundBuckets)
+		outcomes := reg.CounterFamily(MetricInteractiveOutcomes, "Finished interactive markets by outcome.", "outcome")
+		m.intConverged = outcomes.With("converged")
+		m.intExhausted = outcomes.With("budget_exhausted")
+	}
+	activeMetrics.Store(m)
+}
+
+// met returns the active instrument handles.
+func met() *coreMetrics { return activeMetrics.Load() }
+
+// MarketStats returns the cumulative solver-call counters: the number of
+// full MClr price searches performed and the number of ClearCapped calls
+// that short-circuited at the price cap without one.
+//
+// Deprecated: the counters now live in the telemetry registry (see
+// MetricPriceSearches, MetricCappedShortCircuits); this shim reads them
+// from telemetry.Default() and sees nothing after Instrument re-points
+// the package at another registry. Prefer Registry.Snapshot.
+func MarketStats() (priceSearches, cappedShortCircuits int64) {
+	r := telemetry.Default()
+	return r.CounterValue(MetricPriceSearches), r.CounterValue(MetricCappedShortCircuits)
+}

@@ -1,6 +1,23 @@
 package power
 
-import "fmt"
+import (
+	"fmt"
+
+	"mpr/internal/telemetry"
+)
+
+// Metric names the emergency controller registers.
+const (
+	// MetricOverloadW is the current overload depth in watts (delivered
+	// power above capacity; 0 when within capacity).
+	MetricOverloadW = "mpr_power_overload_w"
+	// MetricEmergencyDuration is the emergency duration histogram in
+	// slots, observed when an emergency lifts.
+	MetricEmergencyDuration = "mpr_power_emergency_duration_slots"
+	// MetricEmergencyEvents counts controller transitions, labeled
+	// "declare", "raise", or "lift".
+	MetricEmergencyEvents = "mpr_power_emergency_events_total"
+)
 
 // EmergencyState is the phase of the overload-handling state machine.
 type EmergencyState int
@@ -52,6 +69,10 @@ type EmergencyConfig struct {
 	// CooldownSlots is the minimum number of slots an emergency stays
 	// active before it can be lifted. Paper evaluation: 10 minutes.
 	CooldownSlots int
+	// Telemetry, when set, receives the controller's overload-depth
+	// gauge, emergency-duration histogram, and transition counters. Nil
+	// (the Nop registry) disables instrumentation at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 // Normalize fills defaults and validates.
@@ -99,7 +120,15 @@ type EmergencyController struct {
 	state          EmergencyState
 	pendingSlots   int
 	emergencySlots int
+	activeSlots    int // slots since declare; unlike emergencySlots, not reset by raises
 	targetW        float64
+
+	// Telemetry handles; all nil (no-op) without a configured registry.
+	overloadW *telemetry.Gauge
+	duration  *telemetry.Histogram
+	declares  *telemetry.Counter
+	raises    *telemetry.Counter
+	lifts     *telemetry.Counter
 }
 
 // NewEmergencyController validates cfg and builds a controller in
@@ -108,7 +137,16 @@ func NewEmergencyController(cfg EmergencyConfig) (*EmergencyController, error) {
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
-	return &EmergencyController{cfg: cfg}, nil
+	ec := &EmergencyController{cfg: cfg}
+	if reg := cfg.Telemetry; reg != nil {
+		ec.overloadW = reg.Gauge(MetricOverloadW, "Delivered power above capacity in watts (0 within capacity).")
+		ec.duration = reg.Histogram(MetricEmergencyDuration, "Emergency duration in slots, observed at lift.", telemetry.SlotBuckets)
+		events := reg.CounterFamily(MetricEmergencyEvents, "Emergency controller transitions.", "event")
+		ec.declares = events.With("declare")
+		ec.raises = events.With("raise")
+		ec.lifts = events.With("lift")
+	}
+	return ec, nil
 }
 
 // State returns the current phase.
@@ -133,6 +171,11 @@ func (ec *EmergencyController) reductionTarget(demandW float64) float64 {
 // current reduction in force. During normal operation the two coincide.
 func (ec *EmergencyController) Step(demandW, deliveredW float64) Decision {
 	c := ec.cfg
+	if over := deliveredW - c.CapacityW; over > 0 {
+		ec.overloadW.Set(over)
+	} else {
+		ec.overloadW.Set(0)
+	}
 	switch ec.state {
 	case StateNormal, StatePending:
 		if deliveredW > c.CapacityW {
@@ -140,8 +183,10 @@ func (ec *EmergencyController) Step(demandW, deliveredW float64) Decision {
 			if ec.pendingSlots >= c.MinOverloadSlots {
 				ec.state = StateEmergency
 				ec.emergencySlots = 0
+				ec.activeSlots = 0
 				ec.targetW = ec.reductionTarget(demandW)
 				ec.pendingSlots = 0
+				ec.declares.Inc()
 				return Decision{State: ec.state, Declare: true, TargetW: ec.targetW}
 			}
 			ec.state = StatePending
@@ -153,12 +198,14 @@ func (ec *EmergencyController) Step(demandW, deliveredW float64) Decision {
 
 	case StateEmergency, StateCooldown:
 		ec.emergencySlots++
+		ec.activeSlots++
 		// If demand keeps growing so that even the reduced system
 		// overloads, raise the target.
 		if want := ec.reductionTarget(demandW); want > ec.targetW+1e-9 && deliveredW > c.CapacityW {
 			ec.targetW = want
 			ec.state = StateEmergency
 			ec.emergencySlots = 0
+			ec.raises.Inc()
 			return Decision{State: ec.state, Raise: true, TargetW: ec.targetW}
 		}
 		// Lift condition (Section IV-A): after the cool-down, resume
@@ -175,6 +222,9 @@ func (ec *EmergencyController) Step(demandW, deliveredW float64) Decision {
 				target := ec.targetW
 				ec.targetW = 0
 				ec.emergencySlots = 0
+				ec.lifts.Inc()
+				ec.duration.Observe(float64(ec.activeSlots))
+				ec.activeSlots = 0
 				return Decision{State: ec.state, Lift: true, TargetW: target}
 			}
 			return Decision{State: ec.state, TargetW: ec.targetW}

@@ -9,6 +9,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 
 	"mpr/internal/core"
 	"mpr/internal/perf"
@@ -114,6 +115,14 @@ type Config struct {
 	// RecordSeries, when positive, keeps a power time series downsampled
 	// to roughly this many points.
 	RecordSeries int
+	// TraceEvents caps the run's in-memory telemetry event ring (the
+	// clearing-round and emergency trace returned in Result.TraceEvents).
+	// Default 512.
+	TraceEvents int
+	// TraceSink, when set, receives every telemetry event as one JSON
+	// line — the offline-analysis feed for convergence and emergency
+	// studies.
+	TraceSink io.Writer
 }
 
 // Normalize fills defaults and validates the configuration.
@@ -181,6 +190,9 @@ func (c *Config) Normalize() error {
 	}
 	if c.Interactive.Mode == core.ClearAuto {
 		c.Interactive.Mode = c.ClearMode
+	}
+	if c.TraceEvents <= 0 {
+		c.TraceEvents = 512
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"mpr/internal/power"
 	"mpr/internal/sched"
 	"mpr/internal/stats"
+	"mpr/internal/telemetry"
 )
 
 // simJob is the engine's per-job state.
@@ -51,6 +52,18 @@ func Run(cfg Config) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	// Per-run observability: a private registry plus an event tracer whose
+	// retained window and snapshot ship inside the Result. The power
+	// controller registers its gauges/histograms in the same registry.
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(cfg.TraceEvents)
+	if cfg.TraceSink != nil {
+		tracer.SetSink(cfg.TraceSink)
+	}
+	runTrace := tracer.StartTrace(string(cfg.Algorithm))
+	sm := newSimMetrics(reg)
+	cfg.Interactive.Trace = runTrace
+
 	jobs := buildJobs(&cfg, rng)
 	peakW := peakPower(jobs)
 	capW := power.Oversubscription{PeakW: peakW, Percent: cfg.OversubPct}.Capacity()
@@ -63,6 +76,7 @@ func Run(cfg Config) (*Result, error) {
 		BufferFrac:       cfg.BufferFrac,
 		MinOverloadSlots: cfg.MinOverloadSlots,
 		CooldownSlots:    cfg.CooldownSlots,
+		Telemetry:        reg,
 	})
 	if err != nil {
 		return nil, err
@@ -121,8 +135,9 @@ func Run(cfg Config) (*Result, error) {
 
 		// Delayed reduction orders (MarketDelaySlots): allocations
 		// computed at declare time but applied later.
-		pendingAllocs  map[int]float64
-		pendingApplyAt int
+		pendingAllocs    map[int]float64
+		pendingApplyAt   int
+		pendingOrderSlot int
 	)
 	var fc *forecast.Forecaster
 	if cfg.Predictive {
@@ -209,6 +224,7 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 			pendingAllocs = nil
+			sm.latency.Observe(float64(slot - pendingOrderSlot))
 		}
 		var demandW, deliveredW float64
 		if cfg.PhaseAmp > 0 {
@@ -282,6 +298,9 @@ func Run(cfg Config) (*Result, error) {
 		case d.Declare || d.Raise:
 			if d.Declare {
 				res.EmergencyCount++
+				runTrace.Emit(telemetry.Event{Name: "emergency_declare", Slot: slot, TargetW: d.TargetW, Value: demandW - capW})
+			} else {
+				runTrace.Emit(telemetry.Event{Name: "emergency_raise", Slot: slot, TargetW: d.TargetW, Value: demandW - capW})
 			}
 			emergency = true
 			scheduler.Halt(true)
@@ -294,9 +313,16 @@ func Run(cfg Config) (*Result, error) {
 				totalRounds += rounds
 				sumPrice += clearPrice
 				price = clearPrice
+				sm.invocations.Inc()
+				sm.rounds.Observe(float64(rounds))
+				feasLabel := "feasible"
 				if !feasible {
 					res.InfeasibleEvents++
+					sm.infeasible.Inc()
+					feasLabel = "infeasible"
 				}
+				runTrace.Emit(telemetry.Event{Name: "market_clear", Slot: slot,
+					Round: rounds, Price: clearPrice, TargetW: d.TargetW, Label: feasLabel})
 				if cfg.MarketDelaySlots == 0 {
 					for _, j := range active {
 						if a, ok := allocs[j.id]; ok {
@@ -306,6 +332,7 @@ func Run(cfg Config) (*Result, error) {
 							}
 						}
 					}
+					sm.latency.Observe(0)
 				} else {
 					// A raise supersedes the in-flight order's content
 					// but must not postpone its delivery — the
@@ -316,6 +343,7 @@ func Run(cfg Config) (*Result, error) {
 					}
 					pendingAllocs = allocs
 					pendingApplyAt = applyAt
+					pendingOrderSlot = slot
 				}
 			}
 		case d.Lift:
@@ -326,6 +354,7 @@ func Run(cfg Config) (*Result, error) {
 			for _, j := range active {
 				j.alloc = 1
 			}
+			runTrace.Emit(telemetry.Event{Name: "emergency_lift", Slot: slot, TargetW: d.TargetW})
 		}
 
 		// 5. Per-slot statistics.
@@ -410,6 +439,8 @@ func Run(cfg Config) (*Result, error) {
 		res.DemandSeries = demandSeries.Downsample(cfg.RecordSeries)
 		res.DeliveredSeries = deliverSeries.Downsample(cfg.RecordSeries)
 	}
+	res.Telemetry = reg.Snapshot()
+	res.TraceEvents = tracer.Events()
 	return res, nil
 }
 

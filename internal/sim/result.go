@@ -2,6 +2,7 @@ package sim
 
 import (
 	"mpr/internal/stats"
+	"mpr/internal/telemetry"
 )
 
 // ProfileStats aggregates market outcomes per application profile — the
@@ -81,6 +82,17 @@ type Result struct {
 	// (watts) when Config.RecordSeries > 0.
 	DemandSeries    *stats.Series
 	DeliveredSeries *stats.Series
+
+	// Telemetry is the run's metrics snapshot: market clears and price
+	// searches, emergency transitions, the MPR-INT rounds-to-convergence
+	// histogram, reduction latency, and overload depth (see the metric
+	// name constants in sim, core, and power).
+	Telemetry *telemetry.Snapshot
+	// TraceEvents is the run's retained telemetry event window
+	// (chronological): emergency declare/raise/lift, per-invocation
+	// market clears, and MPR-INT per-round price trajectories. Capped by
+	// Config.TraceEvents.
+	TraceEvents []telemetry.Event
 }
 
 // RewardPercent returns the users' reward as a percentage of their cost

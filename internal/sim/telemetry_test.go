@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mpr/internal/power"
+	"mpr/internal/telemetry"
+)
+
+// TestResultTelemetryConsistency cross-checks the telemetry snapshot
+// against the engine's own aggregate counters on a run with real
+// emergencies.
+func TestResultTelemetryConsistency(t *testing.T) {
+	tr := testTrace(t, 3)
+	res := runAlgo(t, tr, AlgMPRInt, 15)
+	if res.EmergencyCount == 0 {
+		t.Fatal("test trace produced no emergencies — nothing to check")
+	}
+	s := res.Telemetry
+	if s == nil {
+		t.Fatal("Result.Telemetry missing")
+	}
+	if got := s.Counter(MetricMarketInvocations); got != int64(res.MarketInvocations) {
+		t.Fatalf("market invocations: snapshot %d, result %d", got, res.MarketInvocations)
+	}
+	if got := s.Counter(MetricInfeasibleClears); got != int64(res.InfeasibleEvents) {
+		t.Fatalf("infeasible clears: snapshot %d, result %d", got, res.InfeasibleEvents)
+	}
+	rounds := s.Histogram(MetricInteractiveRounds)
+	if rounds.Count != int64(res.MarketInvocations) {
+		t.Fatalf("rounds histogram count %d, invocations %d", rounds.Count, res.MarketInvocations)
+	}
+	if res.MarketInvocations > 0 {
+		wantMean := res.MeanRounds
+		if got := rounds.Mean(); got < wantMean-1e-9 || got > wantMean+1e-9 {
+			t.Fatalf("rounds mean %g, result MeanRounds %g", got, wantMean)
+		}
+	}
+	lat := s.Histogram(MetricReductionLatency)
+	if lat.Count != int64(res.MarketInvocations) {
+		t.Fatalf("latency observations %d, invocations %d", lat.Count, res.MarketInvocations)
+	}
+	if lat.Sum != 0 {
+		t.Fatalf("reduction latency %g slots without market delay, want 0", lat.Sum)
+	}
+	// The power controller reports into the same per-run registry.
+	declares := s.Counter(power.MetricEmergencyEvents + `{event="declare"}`)
+	if declares != int64(res.EmergencyCount) {
+		t.Fatalf("declares %d, emergency count %d", declares, res.EmergencyCount)
+	}
+	// The core solvers report into the process-global default registry,
+	// so MPR-INT runs must have bumped the price-search counter there.
+	if telemetry.Default().CounterValue("mpr_core_price_searches_total") == 0 {
+		t.Fatal("core price-search counter never incremented in default registry")
+	}
+}
+
+// TestResultTraceEvents checks the event window: emergencies bracketed by
+// declare/lift, one market_clear per invocation, and MPR-INT per-round
+// price trajectories tagged with the run's trace ID.
+func TestResultTraceEvents(t *testing.T) {
+	tr := testTrace(t, 3)
+	res := runAlgo(t, tr, AlgMPRInt, 15)
+	if len(res.TraceEvents) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	counts := map[string]int{}
+	lastSeq := uint64(0)
+	for _, e := range res.TraceEvents {
+		counts[e.Name]++
+		if e.Seq <= lastSeq {
+			t.Fatalf("events out of order: seq %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+	}
+	// The window may have evicted early events; with the default cap the
+	// tail must still hold market clears and interactive rounds.
+	if counts["market_clear"] == 0 {
+		t.Fatalf("no market_clear events: %v", counts)
+	}
+	if counts["int_round"] == 0 {
+		t.Fatalf("no int_round events for MPR-INT: %v", counts)
+	}
+	for _, e := range res.TraceEvents {
+		if e.Name == "int_round" && e.Trace != string(AlgMPRInt) {
+			t.Fatalf("int_round missing run trace ID: %+v", e)
+		}
+		if e.Name == "market_clear" && e.Label == "" {
+			t.Fatalf("market_clear without feasibility label: %+v", e)
+		}
+	}
+}
+
+// TestTraceSinkJSONL streams a run's events to a sink and re-parses them.
+func TestTraceSinkJSONL(t *testing.T) {
+	tr := testTrace(t, 3)
+	var sink strings.Builder
+	res, err := Run(Config{
+		Trace: tr, OversubPct: 15, Algorithm: AlgMPRStat, Seed: 7,
+		TraceEvents: 64, TraceSink: &sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MarketInvocations == 0 {
+		t.Fatal("no market invocations")
+	}
+	sc := bufio.NewScanner(strings.NewReader(sink.String()))
+	clears := 0
+	for sc.Scan() {
+		var e telemetry.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if e.Name == "market_clear" {
+			clears++
+		}
+	}
+	// The sink sees every event, unconstrained by the ring cap.
+	if clears != res.MarketInvocations {
+		t.Fatalf("sink saw %d market_clear events, result has %d invocations",
+			clears, res.MarketInvocations)
+	}
+}

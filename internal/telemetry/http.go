@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// debugMarketEvents is how many trace events the debug page renders.
+const debugMarketEvents = 64
+
+// Handler returns the observability HTTP surface over a registry and a
+// tracer:
+//
+//	/metrics       Prometheus text exposition format
+//	/debug/market  human-readable last clearing rounds from the trace ring
+//
+// Either argument may be nil; the corresponding endpoint then serves an
+// empty (but valid) document. mprd mounts this under its -metrics flag.
+func Handler(r *Registry, t *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/market", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		writeDebugMarket(w, r, t)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, `<html><body><a href="/metrics">/metrics</a> · <a href="/debug/market">/debug/market</a></body></html>`)
+	})
+	return mux
+}
+
+func writeDebugMarket(w http.ResponseWriter, r *Registry, t *Tracer) {
+	var b strings.Builder
+	b.WriteString("<html><head><title>mpr market debug</title></head><body>\n")
+	b.WriteString("<h1>Market debug</h1>\n")
+
+	events := t.Last(debugMarketEvents)
+	fmt.Fprintf(&b, "<h2>Last %d clearing-round events</h2>\n", len(events))
+	b.WriteString("<table border=\"1\" cellpadding=\"3\">\n")
+	b.WriteString("<tr><th>seq</th><th>time</th><th>trace</th><th>event</th><th>slot</th><th>round</th><th>price</th><th>target W</th><th>supplied W</th><th>value</th><th>label</th></tr>\n")
+	for i := len(events) - 1; i >= 0; i-- { // newest first
+		e := events[i]
+		ts := ""
+		if e.TimeNS > 0 {
+			ts = time.Unix(0, e.TimeNS).UTC().Format("15:04:05.000")
+		}
+		fmt.Fprintf(&b, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%.6g</td><td>%.6g</td><td>%.6g</td><td>%.6g</td><td>%s</td></tr>\n",
+			e.Seq, ts, html.EscapeString(e.Trace), html.EscapeString(e.Name),
+			e.Slot, e.Round, e.Price, e.TargetW, e.SuppliedW, e.Value,
+			html.EscapeString(e.Label))
+	}
+	b.WriteString("</table>\n")
+
+	if s := r.Snapshot(); s != nil {
+		b.WriteString("<h2>Counters</h2>\n<table border=\"1\" cellpadding=\"3\"><tr><th>name</th><th>value</th></tr>\n")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td></tr>\n", html.EscapeString(name), s.Counters[name])
+		}
+		b.WriteString("</table>\n<h2>Gauges</h2>\n<table border=\"1\" cellpadding=\"3\"><tr><th>name</th><th>value</th></tr>\n")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%g</td></tr>\n", html.EscapeString(name), s.Gauges[name])
+		}
+		b.WriteString("</table>\n<h2>Histograms</h2>\n<table border=\"1\" cellpadding=\"3\"><tr><th>name</th><th>count</th><th>mean</th></tr>\n")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%.4g</td></tr>\n", html.EscapeString(name), h.Count, h.Mean())
+		}
+		b.WriteString("</table>\n")
+	}
+	b.WriteString("</body></html>\n")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func serveGet(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(body)
+}
+
+func TestHandlerMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mpr_core_price_searches_total", "Full price searches.").Add(7)
+	h := r.Histogram("mpr_agent_bid_rtt_seconds", "Bid RTT.", LatencySecondsBuckets)
+	h.Observe(0.002)
+	h.Observe(0.3)
+	tr := NewTracer(16)
+
+	res, body := serveGet(t, Handler(r, tr), "/metrics")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"mpr_core_price_searches_total 7",
+		`mpr_agent_bid_rtt_seconds_bucket{le="0.0025"} 1`,
+		`mpr_agent_bid_rtt_seconds_bucket{le="+Inf"} 2`,
+		"mpr_agent_bid_rtt_seconds_sum 0.302",
+		"mpr_agent_bid_rtt_seconds_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerDebugMarketEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mpr_sim_market_invocations_total", "").Add(2)
+	r.Gauge("mpr_power_overload_w", "").Set(340)
+	tr := NewTracer(16)
+	run := tr.StartTrace("run-1")
+	run.Emit(Event{Name: "int_round", Round: 1, Price: 0.8, TargetW: 500, SuppliedW: 420})
+	run.Emit(Event{Name: "market_clear", Round: 2, Price: 0.95, TargetW: 500, SuppliedW: 503, Label: "converged"})
+
+	res, body := serveGet(t, Handler(r, tr), "/debug/market")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"market_clear", "int_round", "run-1", "converged",
+		"mpr_sim_market_invocations_total",
+		"mpr_power_overload_w",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/debug/market missing %q:\n%s", want, body)
+		}
+	}
+	// Newest event renders first.
+	if strings.Index(body, "market_clear") > strings.Index(body, "int_round") {
+		t.Fatal("/debug/market must render newest events first")
+	}
+}
+
+func TestHandlerNilRegistryAndTracer(t *testing.T) {
+	h := Handler(nil, nil)
+	if res, _ := serveGet(t, h, "/metrics"); res.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", res.StatusCode)
+	}
+	if res, _ := serveGet(t, h, "/debug/market"); res.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/market status = %d", res.StatusCode)
+	}
+	if res, _ := serveGet(t, h, "/nope"); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d", res.StatusCode)
+	}
+	if res, body := serveGet(t, h, "/"); res.StatusCode != http.StatusOK ||
+		!strings.Contains(body, "/debug/market") {
+		t.Fatal("index must link the endpoints")
+	}
+}

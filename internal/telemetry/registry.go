@@ -1,0 +1,471 @@
+// Package telemetry is the repo's stdlib-only observability layer: an
+// allocation-conscious metrics registry (atomic counters and gauges,
+// lock-striped histograms with fixed bucket layouts, labeled counter
+// families) plus a structured event tracer (ring-buffered Event records
+// with per-run Trace handles and an optional JSONL sink).
+//
+// Two consumption paths are supported. Experiments and the simulator take
+// a point-in-time Snapshot and ship it inside their results; long-running
+// daemons expose the registry over HTTP in Prometheus text format and the
+// tracer ring as a human-readable debug page (see Handler).
+//
+// Every instrument is nil-safe: methods on a nil *Registry return nil
+// metrics, and methods on nil metrics are no-ops. A nil registry is
+// therefore the Nop registry — the zero-config fast path costs one nil
+// check per instrumentation point and allocates nothing.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Nop returns the no-op registry: nil. All registry and metric methods
+// tolerate nil receivers, so instrumented code never branches on
+// configuration — it just calls through.
+func Nop() *Registry { return nil }
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry. Package-level
+// instrumentation (e.g. the core market counters) registers here unless
+// re-pointed; MarketStats-style legacy shims read from it.
+func Default() *Registry { return defaultRegistry }
+
+// atomicFloat is a float64 updated with atomic bit operations.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds v. No-op on a nil gauge.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(v)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histStripes is the number of independent shards an observation can land
+// on. Striping spreads the contended sum/count updates of concurrent
+// writers across cache lines; snapshots fold the stripes back together.
+const histStripes = 8
+
+// histStripe is one shard of a histogram. The trailing pad keeps stripes
+// on separate cache lines so concurrent observers don't false-share.
+type histStripe struct {
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomicFloat
+	_      [40]byte
+}
+
+// Histogram is a fixed-bucket-layout histogram. Bucket semantics follow
+// Prometheus: an observation v lands in the first bucket whose upper
+// bound satisfies v ≤ bound, with an implicit +Inf overflow bucket.
+type Histogram struct {
+	bounds  []float64
+	stripes [histStripes]histStripe
+	rr      atomic.Uint64 // round-robin stripe selector
+}
+
+// Observe records one observation. No-op on a nil histogram. The bucket
+// is located by binary search over the fixed bounds; the write lands on a
+// round-robin-selected stripe so concurrent observers contend 1/8th as
+// often on the shared sum.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	bi := sort.SearchFloat64s(h.bounds, v)
+	s := &h.stripes[h.rr.Add(1)&(histStripes-1)]
+	s.counts[bi].Add(1)
+	s.count.Add(1)
+	s.sum.Add(v)
+}
+
+// snapshot folds the stripes into one per-bucket count vector.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.bounds)+1),
+	}
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		for b := range s.counts {
+			snap.Counts[b] += s.counts[b].Load()
+		}
+		snap.Count += s.count.Load()
+		snap.Sum += s.sum.Load()
+	}
+	return snap
+}
+
+// CounterFamily is a set of counters sharing a name, distinguished by one
+// label value ("labeled family"). Resolved children are cached; the hot
+// path should resolve once with With and keep the *Counter.
+type CounterFamily struct {
+	name, help, label string
+	mu                sync.Mutex
+	children          map[string]*Counter
+	order             []string
+}
+
+// With returns the counter for the given label value, creating it on
+// first use. Returns nil (the nop counter) on a nil family.
+func (f *CounterFamily) With(value string) *Counter {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.children[value]
+	if c == nil {
+		c = &Counter{}
+		f.children[value] = c
+		f.order = append(f.order, value)
+	}
+	return c
+}
+
+// metric kinds for exposition ordering.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFamily
+)
+
+type metricEntry struct {
+	name, help string
+	kind       metricKind
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+	family     *CounterFamily
+}
+
+// Registry holds named metrics. All getters are get-or-create and
+// idempotent: asking twice for the same name returns the same metric, so
+// packages can resolve instruments at init without coordination.
+// A nil *Registry is the Nop registry.
+type Registry struct {
+	mu      sync.RWMutex
+	byName  map[string]*metricEntry
+	ordered []*metricEntry
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metricEntry)}
+}
+
+// getOrCreate returns the entry for name, creating it with init (run
+// under the registry lock) on first use. Registration is not a hot path;
+// hot paths resolve their metrics once and keep the handles.
+func (r *Registry) getOrCreate(name, help string, kind metricKind, init func(*metricEntry)) *metricEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.byName[name]; e != nil {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with a different kind", name))
+		}
+		return e
+	}
+	e := &metricEntry{name: name, help: help, kind: kind}
+	init(e)
+	r.byName[name] = e
+	r.ordered = append(r.ordered, e)
+	return e
+}
+
+func (r *Registry) lookup(name string, kind metricKind) *metricEntry {
+	r.mu.RLock()
+	e := r.byName[name]
+	r.mu.RUnlock()
+	if e != nil && e.kind == kind {
+		return e
+	}
+	return nil
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, help, kindCounter, func(e *metricEntry) {
+		e.counter = &Counter{}
+	}).counter
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, help, kindGauge, func(e *metricEntry) {
+		e.gauge = &Gauge{}
+	}).gauge
+}
+
+// Histogram returns the named histogram with the given fixed bucket upper
+// bounds (strictly increasing; +Inf is implicit), creating it on first
+// use. The bounds of an existing histogram are not changed. Returns nil
+// on a nil registry.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, help, kindHistogram, func(e *metricEntry) {
+		h := &Histogram{bounds: append([]float64(nil), bounds...)}
+		for i := range h.stripes {
+			h.stripes[i].counts = make([]atomic.Int64, len(bounds)+1)
+		}
+		e.hist = h
+	}).hist
+}
+
+// CounterFamily returns the named labeled counter family, creating it on
+// first use. Returns nil on a nil registry.
+func (r *Registry) CounterFamily(name, help, label string) *CounterFamily {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, help, kindCounterFamily, func(e *metricEntry) {
+		e.family = &CounterFamily{name: name, help: help, label: label,
+			children: make(map[string]*Counter)}
+	}).family
+}
+
+// CounterValue reads a plain counter by name (0 when absent or nil
+// registry) — the lookup path for legacy shims like core.MarketStats.
+func (r *Registry) CounterValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	if e := r.lookup(name, kindCounter); e != nil {
+		return e.counter.Value()
+	}
+	return 0
+}
+
+// GaugeValue reads a gauge by name (0 when absent or nil registry).
+func (r *Registry) GaugeValue(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	if e := r.lookup(name, kindGauge); e != nil {
+		return e.gauge.Value()
+	}
+	return 0
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one entry per bound
+	// plus the +Inf overflow bucket and is NOT cumulative.
+	Bounds []float64
+	Counts []int64
+	Sum    float64
+	Count  int64
+}
+
+// Mean returns the average observation (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics, serializable
+// for results and offline analysis. Family children appear in Counters
+// under the expanded name `family{label="value"}`.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Counter reads a counter from the snapshot (0 when absent).
+func (s *Snapshot) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.Counters[name]
+}
+
+// Histogram reads a histogram snapshot (zero value when absent).
+func (s *Snapshot) Histogram(name string) HistogramSnapshot {
+	if s == nil {
+		return HistogramSnapshot{}
+	}
+	return s.Histograms[name]
+}
+
+// Snapshot captures all metrics. Returns nil on a nil registry.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	entries := append([]*metricEntry(nil), r.ordered...)
+	r.mu.RUnlock()
+	s := &Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			s.Counters[e.name] = e.counter.Value()
+		case kindGauge:
+			s.Gauges[e.name] = e.gauge.Value()
+		case kindHistogram:
+			s.Histograms[e.name] = e.hist.snapshot()
+		case kindCounterFamily:
+			f := e.family
+			f.mu.Lock()
+			for _, v := range f.order {
+				s.Counters[fmt.Sprintf("%s{%s=%q}", f.name, f.label, v)] = f.children[v].Value()
+			}
+			f.mu.Unlock()
+		}
+	}
+	return s
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (counters, gauges, and histograms with _bucket/_sum/_count
+// series). A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	entries := append([]*metricEntry(nil), r.ordered...)
+	r.mu.RUnlock()
+	var b strings.Builder
+	for _, e := range entries {
+		if e.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", e.name, e.help)
+		}
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", e.name, e.name, formatFloat(e.gauge.Value()))
+		case kindCounterFamily:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", e.name)
+			f := e.family
+			f.mu.Lock()
+			for _, v := range f.order {
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", e.name, f.label, escapeLabel(v), f.children[v].Value())
+			}
+			f.mu.Unlock()
+		case kindHistogram:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", e.name)
+			snap := e.hist.snapshot()
+			var cum int64
+			for i, bound := range snap.Bounds {
+				cum += snap.Counts[i]
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", e.name, formatFloat(bound), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", e.name, snap.Count)
+			fmt.Fprintf(&b, "%s_sum %s\n", e.name, formatFloat(snap.Sum))
+			fmt.Fprintf(&b, "%s_count %d\n", e.name, snap.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// Common fixed bucket layouts.
+var (
+	// RoundBuckets covers interactive-market round counts (MaxRounds
+	// defaults to 100).
+	RoundBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 100}
+	// LatencySecondsBuckets covers network round-trip and clearing
+	// latencies from 100 µs to ~8 s, exponential.
+	LatencySecondsBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025,
+		0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8}
+	// SlotBuckets covers per-slot durations (emergency length, reduction
+	// latency) in one-minute slots.
+	SlotBuckets = []float64{0, 1, 2, 3, 5, 8, 12, 20, 30, 60, 120, 240, 480}
+)

@@ -1,0 +1,246 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsNop(t *testing.T) {
+	r := Nop()
+	if r != nil {
+		t.Fatal("Nop registry must be nil")
+	}
+	// Every method must be callable and free on the nil registry / nil
+	// metrics — this is the zero-overhead instrumentation contract.
+	c := r.Counter("x", "")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	g := r.Gauge("y", "")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	h := r.Histogram("z", "", RoundBuckets)
+	h.Observe(2)
+	f := r.CounterFamily("w", "", "mode")
+	f.With("a").Inc()
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.CounterValue("x") != 0 || r.GaugeValue("y") != 0 {
+		t.Fatal("nil registry lookups must read 0")
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mpr_test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if c2 := r.Counter("mpr_test_total", "help"); c2 != c {
+		t.Fatal("get-or-create must return the same counter")
+	}
+	if got := r.CounterValue("mpr_test_total"); got != 5 {
+		t.Fatalf("CounterValue = %d, want 5", got)
+	}
+	g := r.Gauge("mpr_test_g", "")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+	if got := r.GaugeValue("mpr_test_g"); got != 1.5 {
+		t.Fatalf("GaugeValue = %g, want 1.5", got)
+	}
+	// Absent and wrong-kind lookups read zero.
+	if r.CounterValue("absent") != 0 || r.CounterValue("mpr_test_g") != 0 {
+		t.Fatal("absent/mismatched CounterValue must read 0")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("dual", "")
+}
+
+// TestHistogramBucketEdges pins the Prometheus bucket semantics: an
+// observation equal to an upper bound counts in that bucket (v ≤ le), and
+// anything above the last bound lands in +Inf only.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 4, 4.5, 100} {
+		h.Observe(v)
+	}
+	snap := h.snapshot()
+	// Non-cumulative per-bucket counts, v ≤ le semantics:
+	// {0.5, 1}→(≤1), {1.0000001, 2}→(1,2], {4}→(2,4], {4.5, 100}→+Inf.
+	want := []int64{2, 2, 1, 2}
+	if len(snap.Counts) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(snap.Counts), len(want))
+	}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Count != 7 {
+		t.Fatalf("count = %d, want 7", snap.Count)
+	}
+	wantSum := 0.5 + 1 + 1.0000001 + 2 + 4 + 4.5 + 100
+	if math.Abs(snap.Sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", snap.Sum, wantSum)
+	}
+	if math.Abs(snap.Mean()-wantSum/7) > 1e-9 {
+		t.Fatalf("mean = %g, want %g", snap.Mean(), wantSum/7)
+	}
+}
+
+// TestConcurrentCountersAndHistogram exercises the atomic/striped paths
+// under the race detector and checks nothing is lost.
+func TestConcurrentCountersAndHistogram(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Resolve inside the goroutine to also race the get-or-create
+			// path, as init-time instrumentation does.
+			c := r.Counter("c", "")
+			g := r.Gauge("g", "")
+			h := r.Histogram("h", "", []float64{1, 10, 100})
+			f := r.CounterFamily("f", "", "mode")
+			fc := f.With("m")
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j % 200))
+				fc.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	const total = goroutines * perG
+	if got := r.CounterValue("c"); got != total {
+		t.Fatalf("counter = %d, want %d", got, total)
+	}
+	if got := r.GaugeValue("g"); got != total {
+		t.Fatalf("gauge = %g, want %d", got, total)
+	}
+	s := r.Snapshot()
+	hs := s.Histogram("h")
+	if hs.Count != total {
+		t.Fatalf("histogram count = %d, want %d", hs.Count, total)
+	}
+	var bucketSum int64
+	for _, c := range hs.Counts {
+		bucketSum += c
+	}
+	if bucketSum != total {
+		t.Fatalf("bucket sum = %d, want %d", bucketSum, total)
+	}
+	if got := s.Counter(`f{mode="m"}`); got != total {
+		t.Fatalf("family child = %d, want %d", got, total)
+	}
+}
+
+func TestSnapshotAndFamilyExpansion(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(3)
+	r.Gauge("b", "").Set(7.5)
+	r.Histogram("c", "", []float64{1, 2}).Observe(1.5)
+	f := r.CounterFamily("d_total", "", "mode")
+	f.With("closed_form").Add(2)
+	f.With("bisection").Inc()
+	s := r.Snapshot()
+	if s.Counter("a_total") != 3 {
+		t.Fatalf("a_total = %d", s.Counter("a_total"))
+	}
+	if s.Gauges["b"] != 7.5 {
+		t.Fatalf("b = %g", s.Gauges["b"])
+	}
+	if s.Histogram("c").Count != 1 {
+		t.Fatalf("c count = %d", s.Histogram("c").Count)
+	}
+	if s.Counter(`d_total{mode="closed_form"}`) != 2 || s.Counter(`d_total{mode="bisection"}`) != 1 {
+		t.Fatalf("family expansion wrong: %v", s.Counters)
+	}
+	// Nil-snapshot reads are safe.
+	var nilSnap *Snapshot
+	if nilSnap.Counter("x") != 0 || nilSnap.Histogram("y").Count != 0 {
+		t.Fatal("nil snapshot reads must be zero")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mpr_searches_total", "Price searches.").Add(2)
+	r.Gauge("mpr_overload_w", "Overload depth.").Set(120.5)
+	h := r.Histogram("mpr_rounds", "Rounds.", []float64{1, 2, 4})
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+	fam := r.CounterFamily("mpr_clears_total", "Clears.", "mode")
+	fam.With("closed_form").Add(5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP mpr_searches_total Price searches.",
+		"# TYPE mpr_searches_total counter",
+		"mpr_searches_total 2",
+		"# TYPE mpr_overload_w gauge",
+		"mpr_overload_w 120.5",
+		"# TYPE mpr_rounds histogram",
+		`mpr_rounds_bucket{le="1"} 1`,
+		`mpr_rounds_bucket{le="2"} 1`,
+		`mpr_rounds_bucket{le="4"} 2`, // cumulative: 1 + the 3-observation
+		`mpr_rounds_bucket{le="+Inf"} 3`,
+		"mpr_rounds_sum 13",
+		"mpr_rounds_count 3",
+		`mpr_clears_total{mode="closed_form"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestObserveAllocFree proves the histogram/counter hot path does not
+// allocate — the property the striped fixed-layout design buys.
+func TestObserveAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", LatencySecondsBuckets)
+	allocs := testing.AllocsPerRun(500, func() {
+		c.Inc()
+		g.Set(1)
+		h.Observe(0.003)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot path allocates: %v allocs/op", allocs)
+	}
+}

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record. The schema is a fixed flat struct
+// rather than a field map so emitting into the ring allocates nothing;
+// producers fill the fields that apply and leave the rest zero (omitted
+// from the JSONL encoding).
+type Event struct {
+	// Seq is the tracer-assigned sequence number (monotonic per tracer).
+	Seq uint64 `json:"seq"`
+	// TimeNS is the wall-clock timestamp in Unix nanoseconds, stamped by
+	// Emit when zero. Deterministic producers (the simulator) pre-fill it
+	// with 0-based virtual time instead.
+	TimeNS int64 `json:"time_ns,omitempty"`
+	// Trace identifies the run/market the event belongs to (stamped by a
+	// Trace handle).
+	Trace string `json:"trace,omitempty"`
+	// Name is the event type, e.g. "market_clear", "emergency_declare",
+	// "int_round".
+	Name string `json:"name"`
+	// Slot is the simulator timestep; Round the market round.
+	Slot  int `json:"slot,omitempty"`
+	Round int `json:"round,omitempty"`
+	// Price, TargetW, SuppliedW carry clearing-round economics.
+	Price     float64 `json:"price,omitempty"`
+	TargetW   float64 `json:"target_w,omitempty"`
+	SuppliedW float64 `json:"supplied_w,omitempty"`
+	// Value is a free numeric payload (duration, depth, …); Label a free
+	// string payload (mode, job id, reason, …).
+	Value float64 `json:"value,omitempty"`
+	Label string  `json:"label,omitempty"`
+}
+
+// Tracer is a fixed-capacity ring buffer of Events. When the ring is
+// full the oldest events are overwritten; Events and Last always return
+// the surviving window in chronological order. An optional sink receives
+// every event as one JSON line for offline analysis (the sink path
+// allocates; the ring path does not). A nil *Tracer is the Nop tracer.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Event
+	seq  uint64
+	sink io.Writer
+	enc  *json.Encoder
+}
+
+// NewTracer builds a tracer retaining the last size events (minimum 16,
+// default 256 when size ≤ 0).
+func NewTracer(size int) *Tracer {
+	if size <= 0 {
+		size = 256
+	}
+	if size < 16 {
+		size = 16
+	}
+	return &Tracer{ring: make([]Event, 0, size)}
+}
+
+// SetSink attaches a JSONL sink receiving every subsequent event.
+// No-op on a nil tracer.
+func (t *Tracer) SetSink(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink = w
+	if w != nil {
+		t.enc = json.NewEncoder(w)
+	} else {
+		t.enc = nil
+	}
+}
+
+// Emit records one event, assigning its sequence number and (when unset)
+// its wall-clock timestamp. No-op on a nil tracer.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	e.Seq = t.seq
+	if e.TimeNS == 0 {
+		e.TimeNS = time.Now().UnixNano()
+	}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+	} else {
+		t.ring[int((t.seq-1)%uint64(cap(t.ring)))] = e
+	}
+	enc := t.enc
+	t.mu.Unlock()
+	if enc != nil {
+		// Best-effort: a broken sink must not take the market down.
+		_ = enc.Encode(e)
+	}
+}
+
+// Len returns the number of events currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Events returns a chronological copy of the retained window. Nil tracer
+// returns nil.
+func (t *Tracer) Events() []Event {
+	return t.Last(-1)
+}
+
+// Last returns a chronological copy of the most recent n retained events
+// (all of them when n < 0 or n exceeds the window). Nil tracer returns
+// nil.
+func (t *Tracer) Last(n int) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := len(t.ring)
+	if n < 0 || n > size {
+		n = size
+	}
+	out := make([]Event, 0, n)
+	// Oldest surviving event: seq t.seq-size+1 at ring index (seq-1)%cap.
+	start := t.seq - uint64(n)
+	for i := uint64(0); i < uint64(n); i++ {
+		out = append(out, t.ring[int((start+i)%uint64(cap(t.ring)))])
+	}
+	return out
+}
+
+// StartTrace returns a handle stamping events with the given trace ID —
+// one handle per run/market keeps concurrent producers distinguishable in
+// a shared ring. Nil tracer returns the nil (Nop) handle.
+func (t *Tracer) StartTrace(id string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{t: t, id: id}
+}
+
+// Trace is a per-run handle over a Tracer. A nil *Trace is a no-op.
+type Trace struct {
+	t  *Tracer
+	id string
+}
+
+// Emit stamps the event with the handle's trace ID and records it.
+// No-op on a nil handle.
+func (tr *Trace) Emit(e Event) {
+	if tr == nil {
+		return
+	}
+	e.Trace = tr.id
+	tr.t.Emit(e)
+}
+
+// ID returns the handle's trace identifier ("" for nil).
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.id
+}
