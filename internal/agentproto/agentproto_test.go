@@ -3,13 +3,13 @@ package agentproto
 import (
 	"bytes"
 	"io"
-	"math"
 	"net"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"mpr/internal/check/floats"
 	"mpr/internal/core"
 	"mpr/internal/perf"
 )
@@ -149,7 +149,7 @@ func TestMarketOverTCP(t *testing.T) {
 	}
 	for id, pay := range payments {
 		want := out.Result.Price * out.Orders[id]
-		if math.Abs(pay-want) > 1e-9 {
+		if !floats.AbsEqual(pay, want, 1e-9) {
 			t.Errorf("%s payment %v != %v", id, pay, want)
 		}
 	}

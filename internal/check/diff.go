@@ -1,0 +1,383 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"mpr/internal/core"
+)
+
+// DiffStats summarizes a differential run for reporting: how many
+// instances ran and how the generated shapes were distributed, so a
+// passing run can be audited for coverage rather than trusted blindly.
+type DiffStats struct {
+	Instances    int // generated instances executed
+	Participants int // total participants across all instances
+	Infeasible   int // instances whose target exceeded capacity
+	Singleton    int // degenerate single-participant markets
+	Capped       int // capped instances that settled at the cap
+
+	// Cost-ordering aggregates (DiffMarketVsOPT only): total cost per
+	// algorithm summed over all instances, and the count of instances
+	// where STAT cost exceeded EQL's. The paper's STAT ≤ EQL claim is
+	// statistical, so it is asserted on these aggregates.
+	OPTCost      float64
+	StatCost     float64
+	EQLCost      float64
+	StatAboveEQL int
+}
+
+// instanceSeed derives the per-instance seed from the base seed. A
+// failing instance is reproduced by NewGen(instanceSeed(base, i)) alone;
+// the multiplier decorrelates neighboring streams (LCG constant).
+func instanceSeed(base int64, i int) int64 {
+	return base + int64(i)*1664525
+}
+
+// DiffClearModes cross-checks the closed-form segmented solver against
+// the bisection solver on instances generated instances of up to maxN
+// participants: both must agree on feasibility, clearing price,
+// per-participant reductions, and supplied power to the harness
+// tolerance, and each result must independently satisfy the full
+// invariant catalog. The returned error, if any, names the reproducing
+// instance seed.
+func DiffClearModes(baseSeed int64, instances, maxN int) (DiffStats, error) {
+	var st DiffStats
+	for i := 0; i < instances; i++ {
+		seed := instanceSeed(baseSeed, i)
+		g := NewGen(seed)
+		ps := g.Pool(g.PoolSize(maxN))
+		target := g.Target(MaxSupplyW(ps))
+		if err := diffOneClear(ps, target, &st); err != nil {
+			return st, fmt.Errorf("check: instance seed %d (base %d, instance %d): %w", seed, baseSeed, i, err)
+		}
+	}
+	return st, nil
+}
+
+func diffOneClear(ps []*core.Participant, target float64, st *DiffStats) error {
+	st.Instances++
+	st.Participants += len(ps)
+	if len(ps) == 1 {
+		st.Singleton++
+	}
+	cf, err := core.ClearWithMode(ps, target, core.ClearClosedForm)
+	if err != nil {
+		return fmt.Errorf("closed form: %v", err)
+	}
+	bi, err := core.ClearWithMode(ps, target, core.ClearBisection)
+	if err != nil {
+		return fmt.Errorf("bisection: %v", err)
+	}
+	if err := CheckClearing(ps, target, cf); err != nil {
+		return fmt.Errorf("closed form violates invariants: %v", err)
+	}
+	if err := CheckClearing(ps, target, bi); err != nil {
+		return fmt.Errorf("bisection violates invariants: %v", err)
+	}
+	if !cf.Feasible {
+		st.Infeasible++
+	}
+	return compareClears(ps, target, cf, bi)
+}
+
+// compareClears asserts solver agreement. Prices are compared only away
+// from the saturation boundary: within 1e-9 of full capacity the
+// clearing price diverges to a solver-specific saturation sentinel
+// (supply is flat there to machine precision), so the meaningful
+// agreement is on feasibility, supplied power, and reductions.
+func compareClears(ps []*core.Participant, target float64, a, b *core.ClearingResult) error {
+	maxW := MaxSupplyW(ps)
+	nearSaturation := target >= maxW*(1-Tol)
+	if !nearSaturation {
+		if a.Feasible != b.Feasible {
+			return fmt.Errorf("feasibility %v vs %v (target %v, capacity %v)", a.Feasible, b.Feasible, target, maxW)
+		}
+		if a.Feasible {
+			// The bisection's guarantee is bracket-relative (1e-13·hi
+			// with hi ≤ max(maxActivation, 2q′)), so the honest price
+			// tolerance carries an activation-scale term: it matters
+			// only when the clearing price is orders of magnitude below
+			// the largest activation price (tiny targets under
+			// reluctant pools).
+			var maxAct float64
+			for _, p := range ps {
+				if p.Bid.Delta > 0 {
+					if act := p.Bid.ActivationPrice(); act > maxAct {
+						maxAct = act
+					}
+				}
+			}
+			tol := Tol*(1+a.Price) + 1e-12*math.Max(maxAct, 2*a.Price)
+			if d := math.Abs(a.Price - b.Price); d > tol {
+				return fmt.Errorf("price %v vs %v (Δ %.3g > %.3g)", a.Price, b.Price, d, tol)
+			}
+		}
+	}
+	if d := math.Abs(a.SuppliedW - b.SuppliedW); d > Tol*(1+maxW) {
+		return fmt.Errorf("supplied %v vs %v", a.SuppliedW, b.SuppliedW)
+	}
+	rtol := Tol
+	if nearSaturation {
+		// At the capacity boundary the two sentinel prices can differ by
+		// orders of magnitude; each participant's withheld amount b/q has
+		// only been driven below the solvers' saturation thresholds.
+		rtol = saturationTol
+	}
+	for i := range ps {
+		tol := rtol * (1 + ps[i].Bid.Delta)
+		if d := math.Abs(a.Reductions[i] - b.Reductions[i]); d > tol {
+			return fmt.Errorf("reduction[%d] %v vs %v (Δ %.3g)", i, a.Reductions[i], b.Reductions[i], d)
+		}
+	}
+	return nil
+}
+
+// DiffCapped cross-checks ClearCapped between the closed-form
+// short-circuit path and the bisection clear-then-discard path. Caps are
+// drawn relative to the uncapped clearing price — binding, loose, and
+// exactly at the clearing price — plus caps below every activation
+// price (zero-trade markets).
+func DiffCapped(baseSeed int64, instances, maxN int) (DiffStats, error) {
+	var st DiffStats
+	for i := 0; i < instances; i++ {
+		seed := instanceSeed(baseSeed, i)
+		g := NewGen(seed)
+		ps := g.Pool(g.PoolSize(maxN))
+		maxW := MaxSupplyW(ps)
+		target := g.Target(maxW)
+		if target >= maxW*(1-Tol) && target <= maxW*(1+Tol) {
+			// Exactly-at-capacity targets have solver-specific saturation
+			// prices; the uncapped driver covers that boundary. Keep the
+			// capped driver on targets that are clearly feasible or
+			// clearly infeasible.
+			target = 0.5 * maxW
+		}
+		if target <= 0 {
+			target = 1 // dead pool: capacity-infeasible under any cap
+		}
+		priceCap, err := drawCap(g, ps, target)
+		if err != nil {
+			return st, fmt.Errorf("check: instance seed %d: %v", seed, err)
+		}
+		if err := diffOneCapped(ps, target, priceCap, &st); err != nil {
+			return st, fmt.Errorf("check: instance seed %d (base %d, instance %d): %w", seed, baseSeed, i, err)
+		}
+	}
+	return st, nil
+}
+
+// drawCap picks a price cap shape: a multiple of the uncapped clearing
+// price (binding below 1, exact at 1, loose above), or a cap below every
+// activation price so the capped market trades nothing.
+func drawCap(g *Gen, ps []*core.Participant, target float64) (float64, error) {
+	r := g.rng.Float64()
+	if r < 0.15 {
+		// Below every positive activation price: zero trade unless a
+		// fully willing (b = 0) participant exists.
+		minAct := math.Inf(1)
+		for _, p := range ps {
+			if p.Bid.Delta > 0 && p.Bid.B > 0 {
+				if a := p.Bid.ActivationPrice(); a < minAct {
+					minAct = a
+				}
+			}
+		}
+		if !math.IsInf(minAct, 1) && minAct > 0 {
+			return minAct / 2, nil
+		}
+	}
+	un, err := core.ClearWithMode(ps, target, core.ClearClosedForm)
+	if err != nil {
+		return 0, fmt.Errorf("uncapped clear for cap draw: %v", err)
+	}
+	base := un.Price
+	if base <= 0 {
+		base = 1
+	}
+	switch {
+	case r < 0.3:
+		return base, nil // cap exactly at the uncapped clearing price
+	case r < 0.65:
+		return base * (0.1 + 0.9*g.rng.Float64()), nil // binding
+	default:
+		return base * (1 + 2*g.rng.Float64()), nil // loose
+	}
+}
+
+func diffOneCapped(ps []*core.Participant, target, priceCap float64, st *DiffStats) error {
+	st.Instances++
+	st.Participants += len(ps)
+	cf, err := core.ClearCappedWithMode(ps, target, priceCap, core.ClearClosedForm)
+	if err != nil {
+		return fmt.Errorf("closed form: %v", err)
+	}
+	bi, err := core.ClearCappedWithMode(ps, target, priceCap, core.ClearBisection)
+	if err != nil {
+		return fmt.Errorf("bisection: %v", err)
+	}
+	if err := CheckCapped(ps, target, priceCap, cf); err != nil {
+		return fmt.Errorf("closed form violates invariants: %v", err)
+	}
+	if err := CheckCapped(ps, target, priceCap, bi); err != nil {
+		return fmt.Errorf("bisection violates invariants: %v", err)
+	}
+	maxW := MaxSupplyW(ps)
+	if maxW < target*(1-Tol) {
+		// Capacity-infeasible regardless of the cap. The closed form
+		// settles at the cap; the bisection may instead report its
+		// saturation price when that lies under the cap — the agreement
+		// is on infeasibility and on the (saturated or cap-limited)
+		// supply, not on the sentinel price.
+		if cf.Feasible || bi.Feasible {
+			return fmt.Errorf("capacity-infeasible (capacity %v < target %v) but feasibility %v/%v",
+				maxW, target, cf.Feasible, bi.Feasible)
+		}
+		if cf.Rounds == 0 {
+			st.Capped++
+		}
+		if math.Abs(cf.SuppliedW-bi.SuppliedW) > Tol*(1+maxW) {
+			return fmt.Errorf("capacity-infeasible supplied %v vs %v", cf.SuppliedW, bi.SuppliedW)
+		}
+		for i := range ps {
+			tol := saturationTol * (1 + ps[i].Bid.Delta)
+			if d := math.Abs(cf.Reductions[i] - bi.Reductions[i]); d > tol {
+				return fmt.Errorf("capacity-infeasible reduction[%d] %v vs %v", i, cf.Reductions[i], bi.Reductions[i])
+			}
+		}
+		return nil
+	}
+	if cf.Rounds == 0 {
+		st.Capped++
+		// Both modes settled at the cap: the materialized supply at the
+		// cap must agree bit for bit (same evaluation, no search).
+		if cf.Price != bi.Price {
+			return fmt.Errorf("capped settlement price %v vs %v", cf.Price, bi.Price)
+		}
+		for i := range ps {
+			if cf.Reductions[i] != bi.Reductions[i] {
+				return fmt.Errorf("capped reduction[%d] %v vs %v", i, cf.Reductions[i], bi.Reductions[i])
+			}
+		}
+		if cf.Feasible != bi.Feasible {
+			return fmt.Errorf("capped feasibility %v vs %v", cf.Feasible, bi.Feasible)
+		}
+		return nil
+	}
+	return compareClears(ps, target, cf, bi)
+}
+
+// DiffMarketVsOPT cross-checks the interactive market (MPR-INT with
+// exact rational bidders) against the OPT KKT dual fast path on analytic
+// quadratic-cost pools: with uniform watts-per-core and price-taking
+// bidders the market equilibrium must coincide with the social optimum
+// (the Johari-Tsitsiklis efficiency result the paper builds on). Also
+// verifies the paper's OPT ≤ STAT ≤ EQL total-cost ordering with
+// cooperative static bids on the same pool.
+func DiffMarketVsOPT(baseSeed int64, instances, maxN int) (DiffStats, error) {
+	var st DiffStats
+	for i := 0; i < instances; i++ {
+		seed := instanceSeed(baseSeed, i)
+		g := NewGen(seed)
+		n := 1 + g.rng.Intn(maxN)
+		ps, bidders, costs := g.CostPool(n)
+		// Interior target band: every algorithm (including EQL's uniform
+		// fraction, bounded by the pool-uniform MaxFrac) stays feasible,
+		// and the MPR-INT price iteration stays contractive — its map
+		// slope at the fixed point is 1 − Σw(A/(2C2)+δ)/Σw(Max−δ), which
+		// the [0.15, 0.6]·capacity band keeps inside (−1, 1) for the
+		// generator's coefficient ranges.
+		var capW float64
+		for _, p := range ps {
+			capW += p.WattsPerCore * p.MaxReduction()
+		}
+		target := capW * (0.15 + 0.45*g.rng.Float64())
+		if err := diffOneMarketVsOPT(ps, bidders, costs, target, &st); err != nil {
+			return st, fmt.Errorf("check: instance seed %d (base %d, instance %d): %w", seed, baseSeed, i, err)
+		}
+	}
+	return st, nil
+}
+
+func diffOneMarketVsOPT(ps []*core.Participant, bidders []core.Bidder, costs []QuadCost, target float64, st *DiffStats) error {
+	st.Instances++
+	st.Participants += len(ps)
+	if len(ps) == 1 {
+		st.Singleton++
+	}
+	intRes, err := core.ClearInteractive(ps, bidders, target, core.InteractiveConfig{
+		MaxRounds: 800,
+		Tolerance: 1e-9,
+	})
+	if err != nil {
+		return fmt.Errorf("MPR-INT: %v", err)
+	}
+	if !intRes.Converged {
+		return fmt.Errorf("MPR-INT did not converge in %d rounds (price %v)", intRes.Rounds, intRes.Price)
+	}
+	if intRes.SuppliedW < target-1e-6*(1+target) {
+		return fmt.Errorf("MPR-INT supplied %v short of target %v", intRes.SuppliedW, target)
+	}
+	opt, err := core.SolveOPT(ps, target, core.OPTDual)
+	if err != nil {
+		return fmt.Errorf("OPT dual: %v", err)
+	}
+	if err := CheckAllocation(ps, target, opt); err != nil {
+		return fmt.Errorf("OPT violates invariants: %v", err)
+	}
+	if !opt.Feasible {
+		return fmt.Errorf("OPT infeasible at interior target %v", target)
+	}
+	// Equilibrium efficiency: the interactive allocation matches OPT's
+	// KKT point participant by participant, and its total cost matches
+	// the optimum. Tolerances reflect the price-iteration and dual-
+	// bisection stopping rules, not model disagreement.
+	var intCost float64
+	for i := range ps {
+		intCost += costs[i].Cost(intRes.Reductions[i])
+		bound := 1e-5 * (1 + costs[i].Max)
+		if d := math.Abs(intRes.Reductions[i] - opt.Reductions[i]); d > bound {
+			return fmt.Errorf("allocation[%d]: MPR-INT %v vs OPT %v (Δ %.3g)", i, intRes.Reductions[i], opt.Reductions[i], d)
+		}
+	}
+	if opt.TotalCost > 0 {
+		ratio := intCost / opt.TotalCost
+		if ratio < 1-1e-6 {
+			return fmt.Errorf("MPR-INT cost %v below OPT %v — OPT not optimal", intCost, opt.TotalCost)
+		}
+		if ratio > 1+1e-4 {
+			return fmt.Errorf("MPR-INT cost %v above OPT %v (ratio %v)", intCost, opt.TotalCost, ratio)
+		}
+	}
+	// Cost ordering with cooperative static bids on the same pool.
+	stat, err := core.Clear(ps, target)
+	if err != nil {
+		return fmt.Errorf("MPR-STAT: %v", err)
+	}
+	if err := CheckClearing(ps, target, stat); err != nil {
+		return fmt.Errorf("MPR-STAT violates invariants: %v", err)
+	}
+	eql, err := core.SolveEQL(ps, target)
+	if err != nil {
+		return fmt.Errorf("EQL: %v", err)
+	}
+	if err := CheckAllocation(ps, target, eql); err != nil {
+		return fmt.Errorf("EQL violates invariants: %v", err)
+	}
+	if stat.Feasible && eql.Feasible {
+		var statCost float64
+		for i := range ps {
+			statCost += costs[i].Cost(stat.Reductions[i])
+		}
+		if err := CheckCostOrdering(opt.TotalCost, statCost, eql.TotalCost); err != nil {
+			return err
+		}
+		st.OPTCost += opt.TotalCost
+		st.StatCost += statCost
+		st.EQLCost += eql.TotalCost
+		if statCost > eql.TotalCost {
+			st.StatAboveEQL++
+		}
+	}
+	return nil
+}

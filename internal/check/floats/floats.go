@@ -1,0 +1,98 @@
+// Package floats provides the shared floating-point comparison helpers
+// of the verification harness (internal/check). Every tolerance-based
+// assertion in the repo's tests goes through this package instead of an
+// ad-hoc math.Abs(a-b) < eps, so the comparison semantics — absolute
+// versus relative versus ULP — are explicit at the call site and uniform
+// across packages.
+//
+// The package depends only on the standard library so it is importable
+// from in-package (white-box) test files anywhere in the module,
+// including internal/core, without creating an import cycle with
+// internal/check itself.
+package floats
+
+import "math"
+
+// AlmostEqual reports whether a and b are equal within tol, using the
+// combined absolute/relative criterion
+//
+//	|a−b| ≤ tol            (absolute, dominates near zero)
+//	|a−b| ≤ tol·max(|a|,|b|)  (relative, dominates for large magnitudes)
+//
+// Exact equality short-circuits first, so equal infinities compare true
+// for any tol. NaN never compares equal to anything, matching ==.
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	if math.IsInf(d, 1) {
+		// Opposite infinities (equal ones short-circuited above): never
+		// close, even though Inf ≤ tol·Inf would hold arithmetically.
+		return false
+	}
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// AbsEqual reports |a−b| ≤ tol — the plain absolute-difference
+// criterion, for call sites whose tolerance is already scaled to the
+// expected magnitude (most migrated test assertions). Equal infinities
+// compare true; NaN compares false.
+func AbsEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// RelEqual reports |a−b| ≤ tol·(1+max(|a|,|b|)) — the hybrid criterion
+// the market solvers' differential tests use: behaves absolutely for
+// magnitudes below 1 and relatively above, with no discontinuity.
+func RelEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// ULPDiff returns the number of distinct float64 values strictly between
+// a and b — 0 for exactly equal values (including -0 vs +0), 1 for
+// adjacent floats... It returns math.MaxUint64 when either argument is
+// NaN, or when the values straddle infinities such that the distance is
+// not meaningful.
+func ULPDiff(a, b float64) uint64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.MaxUint64
+	}
+	if a == b {
+		return 0 // covers -0 == +0
+	}
+	ia, ib := orderedBits(a), orderedBits(b)
+	if ia > ib {
+		ia, ib = ib, ia
+	}
+	return uint64(ib - ia)
+}
+
+// orderedBits maps a float64 onto a monotone signed-integer scale: the
+// ordering of the integers matches the ordering of the floats, and
+// adjacent floats map to adjacent integers. This is the standard
+// sign-magnitude to two's-complement fold.
+func orderedBits(f float64) int64 {
+	b := int64(math.Float64bits(f))
+	if b < 0 {
+		b = math.MinInt64 - b
+	}
+	return b
+}
+
+// WithinULP reports whether a and b are within n units in the last place
+// of each other. WithinULP(a, b, 0) is exact equality (with -0 == +0);
+// WithinULP(a, b, 1) admits adjacent floats. NaN is never within any
+// distance of anything.
+func WithinULP(a, b float64, n uint64) bool {
+	return ULPDiff(a, b) <= n
+}

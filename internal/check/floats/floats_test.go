@@ -1,0 +1,106 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-10, 1e-9, true},
+		{1, 1 + 1e-8, 1e-9, false},
+		{0, 1e-10, 1e-9, true},           // absolute branch near zero
+		{1e12, 1e12 + 1, 1e-9, true},     // relative branch for large values
+		{1e12, 1e12 * 1.01, 1e-9, false}, //
+		{math.Inf(1), math.Inf(1), 1e-9, true},
+		{math.Inf(1), math.Inf(-1), 1e9, false},
+		{math.NaN(), math.NaN(), 1e9, false},
+		{math.NaN(), 1, 1e9, false},
+		{-1, 1, 0.5, false},
+		{-1, -1 - 1e-12, 1e-9, true},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("AlmostEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestAbsEqual(t *testing.T) {
+	if !AbsEqual(1, 1.5, 0.5) || AbsEqual(1, 1.6, 0.5) {
+		t.Error("AbsEqual threshold")
+	}
+	if !AbsEqual(math.Inf(1), math.Inf(1), 0) {
+		t.Error("equal infinities must compare true")
+	}
+	if AbsEqual(math.NaN(), math.NaN(), math.Inf(1)) {
+		t.Error("NaN must never compare equal")
+	}
+	// Huge magnitudes where the difference overflows tolerance checks.
+	if AbsEqual(math.MaxFloat64, -math.MaxFloat64, 1) {
+		t.Error("opposite extremes are not close")
+	}
+}
+
+func TestRelEqual(t *testing.T) {
+	// Behaves absolutely below 1, relatively above.
+	if !RelEqual(0, 1e-10, 1e-9) {
+		t.Error("small absolute difference should pass")
+	}
+	if !RelEqual(1e12, 1e12+100, 1e-9) {
+		t.Error("1e-7 relative at 1e12 should pass at 1e-9*(1+1e12)")
+	}
+	if RelEqual(1, 1.1, 1e-3) {
+		t.Error("10% apart should fail at 1e-3")
+	}
+}
+
+func TestULPDiff(t *testing.T) {
+	if d := ULPDiff(1, 1); d != 0 {
+		t.Errorf("ULPDiff(1,1) = %d", d)
+	}
+	if d := ULPDiff(0, math.Copysign(0, -1)); d != 0 {
+		t.Errorf("ULPDiff(+0,-0) = %d, want 0", d)
+	}
+	next := math.Nextafter(1, 2)
+	if d := ULPDiff(1, next); d != 1 {
+		t.Errorf("ULPDiff(1, next) = %d, want 1", d)
+	}
+	if d := ULPDiff(next, 1); d != 1 {
+		t.Errorf("ULPDiff symmetric: %d", d)
+	}
+	// Across zero: the distance counts representable values through ±0.
+	a, b := math.Nextafter(0, -1), math.Nextafter(0, 1)
+	if d := ULPDiff(a, b); d != 2 {
+		t.Errorf("ULPDiff straddling zero = %d, want 2", d)
+	}
+	if d := ULPDiff(math.NaN(), 1); d != math.MaxUint64 {
+		t.Errorf("NaN ULPDiff = %d", d)
+	}
+}
+
+func TestWithinULP(t *testing.T) {
+	if !WithinULP(1, 1, 0) {
+		t.Error("exact equality at 0 ULP")
+	}
+	next := math.Nextafter(1, 2)
+	if WithinULP(1, next, 0) {
+		t.Error("adjacent floats are not 0 ULP apart")
+	}
+	if !WithinULP(1, next, 1) {
+		t.Error("adjacent floats are 1 ULP apart")
+	}
+	// A sum reassociation typically lands within a few ULP.
+	sum1 := (0.1 + 0.2) + 0.3
+	sum2 := 0.1 + (0.2 + 0.3)
+	if !WithinULP(sum1, sum2, 4) {
+		t.Errorf("reassociated sums %v vs %v beyond 4 ULP", sum1, sum2)
+	}
+	if WithinULP(math.NaN(), math.NaN(), math.MaxUint64-1) {
+		t.Error("NaN within ULP of NaN")
+	}
+}

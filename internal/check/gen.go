@@ -1,0 +1,233 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpr/internal/core"
+)
+
+// Gen is a seeded deterministic generator of market instances. Two Gens
+// built from the same seed produce identical sequences, so any failure a
+// driver reports is reproducible from the instance seed alone.
+type Gen struct {
+	rng  *rand.Rand
+	seed int64
+}
+
+// NewGen returns a generator seeded with seed.
+func NewGen(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed returns the seed the generator was built with.
+func (g *Gen) Seed() int64 { return g.seed }
+
+// PoolSize draws a pool size in [1, max], biased toward the degenerate
+// and small sizes where solver edge cases live: single-participant
+// markets, pairs, and small pools are drawn far more often than their
+// uniform share.
+func (g *Gen) PoolSize(max int) int {
+	if max < 1 {
+		max = 1
+	}
+	switch r := g.rng.Float64(); {
+	case r < 0.10:
+		return 1 // degenerate single-participant market
+	case r < 0.20:
+		return 2
+	case r < 0.55:
+		return 1 + g.rng.Intn(min(8, max))
+	case r < 0.85:
+		return 1 + g.rng.Intn(min(64, max))
+	default:
+		return 1 + g.rng.Intn(max)
+	}
+}
+
+// Pool generates n participants with adversarial bid shapes mixed in:
+// Δ = 0 jobs that can never supply, b = 0 fully willing jobs, duplicate
+// activation prices (same b/Δ as an earlier participant, forcing
+// breakpoint ties in the market index), and occasionally pool-uniform
+// watts-per-core. MaxFrac is set consistent with the bid
+// (Δ = MaxFrac·Cores) so the same pool is valid for EQL and OPT.
+func (g *Gen) Pool(n int) []*core.Participant {
+	ps := make([]*core.Participant, n)
+	uniformW := g.rng.Float64() < 0.2
+	poolW := 50 + 200*g.rng.Float64()
+	for i := range ps {
+		delta := 0.05 + 8*g.rng.Float64()
+		b := 0.01 + 5*g.rng.Float64()
+		switch r := g.rng.Float64(); {
+		case r < 0.08:
+			delta = 0 // never supplies; +Inf activation key
+		case r < 0.23:
+			b = 0 // fully willing; activation price 0
+		case r < 0.35 && i > 0:
+			// Duplicate an earlier activation price exactly: same b/Δ
+			// ratio with a different Δ, exercising breakpoint ties.
+			prev := ps[g.rng.Intn(i)].Bid
+			if prev.Delta > 0 {
+				b = prev.ActivationPrice() * delta
+			}
+		}
+		w := poolW
+		if !uniformW {
+			w = 50 + 200*g.rng.Float64()
+		}
+		cores := float64(1 + g.rng.Intn(32))
+		ps[i] = &core.Participant{
+			JobID:        fmt.Sprintf("g%d", i),
+			Cores:        cores,
+			Bid:          core.Bid{Delta: delta, B: b},
+			WattsPerCore: w,
+			MaxFrac:      delta / cores,
+		}
+	}
+	return ps
+}
+
+// Target draws a power-reduction target for a pool with aggregate
+// capacity maxW: mostly interior fractions, but with deliberate mass on
+// the hard shapes — targets exactly at capacity, above capacity
+// (infeasible), and vanishingly small.
+func (g *Gen) Target(maxW float64) float64 {
+	if maxW <= 0 {
+		// Dead pool (all Δ = 0): any positive target is infeasible.
+		return 1 + 99*g.rng.Float64()
+	}
+	switch r := g.rng.Float64(); {
+	case r < 0.05:
+		return maxW // exactly at capacity
+	case r < 0.15:
+		return maxW * (1 + 2*g.rng.Float64()) // infeasible
+	case r < 0.22:
+		return maxW * 1e-6 * g.rng.Float64() // vanishing
+	default:
+		return maxW * g.rng.Float64()
+	}
+}
+
+// QuadCost is an analytic convex cost model C(δ) = A·δ + C2·δ² on
+// [0, Max] (δ in absolute cores, A ≥ 0, C2 > 0). Its gain-maximizing
+// response, cooperative static bid, and OPT KKT solution are all closed
+// form, which makes it the reference cost family for the cross-algorithm
+// drivers: no inner numerical solver can blur the comparison.
+type QuadCost struct {
+	A   float64 // linear cost coefficient (marginal cost at δ = 0)
+	C2  float64 // quadratic coefficient (half the marginal-cost slope)
+	Max float64 // maximum supported reduction, in cores
+}
+
+// Cost evaluates C(δ), clamping δ into [0, Max].
+func (qc QuadCost) Cost(d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	if d > qc.Max {
+		d = qc.Max
+	}
+	return qc.A*d + qc.C2*d*d
+}
+
+// Marginal evaluates C′(δ) = A + 2·C2·δ.
+func (qc QuadCost) Marginal(d float64) float64 {
+	if d < 0 {
+		d = 0
+	}
+	if d > qc.Max {
+		d = qc.Max
+	}
+	return qc.A + 2*qc.C2*d
+}
+
+// Respond returns the exact gain-maximizing reduction at price q:
+// argmax q·δ − C(δ) = clamp((q − A)/(2·C2), 0, Max).
+func (qc QuadCost) Respond(q float64) float64 {
+	if q <= qc.A {
+		return 0
+	}
+	d := (q - qc.A) / (2 * qc.C2)
+	if d > qc.Max {
+		return qc.Max
+	}
+	return d
+}
+
+// RespondBid implements core.Bidder: the MPR-INT bidding rule
+// b = q·(Δ − δ*(q)) encoding the gain-maximizing reduction exactly.
+func (qc QuadCost) RespondBid(price float64) core.Bid {
+	if qc.Max <= 0 {
+		return core.Bid{}
+	}
+	b := price * (qc.Max - qc.Respond(price))
+	if b < 0 {
+		b = 0
+	}
+	return core.Bid{Delta: qc.Max, B: b}
+}
+
+// CooperativeBid returns the analytic cooperative static bid: the
+// largest reluctance b = max_q q·(Δ − δ_ref(q)) keeping the supply curve
+// below the no-loss reference δ_ref(q) = clamp((q − A)/C2, 0, Max) at
+// every price, so the bidder never nets a loss (Section III-C).
+func (qc QuadCost) CooperativeBid() core.Bid {
+	if qc.Max <= 0 {
+		return core.Bid{}
+	}
+	// f(q) = q·(Max − (q−A)/C2) on [A, A + C2·Max]; below A the
+	// reference is zero and f = q·Max is increasing, above the band the
+	// reference saturates and f = 0. The interior maximum is at
+	// q* = (A + C2·Max)/2 when that lies in the band, else at q = A.
+	q := (qc.A + qc.C2*qc.Max) / 2
+	if q < qc.A {
+		q = qc.A
+	}
+	ref := (q - qc.A) / qc.C2
+	if ref > qc.Max {
+		ref = qc.Max
+	}
+	b := q * (qc.Max - ref)
+	if b < 0 {
+		b = 0
+	}
+	return core.Bid{Delta: qc.Max, B: b}
+}
+
+// CostPool generates n participants with analytic quadratic costs,
+// uniform watts-per-core (the paper's setting, and the regime where the
+// market equilibrium coincides with OPT's KKT point), a pool-uniform
+// MaxFrac, and rational bidders. The participants' Bid fields carry the
+// cooperative static bid so the same pool runs MPR-STAT, MPR-INT, OPT,
+// and EQL; Cost/MarginalCost are wired to the quadratic model.
+func (g *Gen) CostPool(n int) ([]*core.Participant, []core.Bidder, []QuadCost) {
+	ps := make([]*core.Participant, n)
+	bidders := make([]core.Bidder, n)
+	costs := make([]QuadCost, n)
+	watts := 50 + 200*g.rng.Float64()
+	maxFrac := 0.3 + 0.6*g.rng.Float64()
+	for i := range ps {
+		cores := float64(1 + g.rng.Intn(32))
+		// The coefficient ranges keep A/(2·C2) small against Max, which
+		// (with interior targets) keeps the MPR-INT price iteration a
+		// contraction — the regime where the paper's convergence claim
+		// applies; see DiffMarketVsOPT.
+		qc := QuadCost{
+			A:   0.01 + 0.2*g.rng.Float64(),
+			C2:  0.5 + 2.5*g.rng.Float64(),
+			Max: maxFrac * cores,
+		}
+		costs[i] = qc
+		bidders[i] = qc
+		ps[i] = &core.Participant{
+			JobID:        fmt.Sprintf("q%d", i),
+			Cores:        cores,
+			Bid:          qc.CooperativeBid(),
+			WattsPerCore: watts,
+			MaxFrac:      maxFrac,
+			Cost:         qc.Cost,
+			MarginalCost: qc.Marginal,
+		}
+	}
+	return ps, bidders, costs
+}

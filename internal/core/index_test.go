@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"testing"
 
+	"mpr/internal/check/floats"
 	"mpr/internal/perf"
 )
 
@@ -77,12 +77,11 @@ func TestClosedFormMatchesBisection(t *testing.T) {
 				if cf.Feasible {
 					// The bisection bracket is 1e-13-relative; 1e-9 leaves
 					// four orders of magnitude of slack over its guarantee.
-					tol := 1e-9 * (1 + cf.Price)
-					if d := math.Abs(cf.Price - bi.Price); d > tol {
-						t.Errorf("target %v (frac %v): price %v vs %v (Δ %.3g > %.3g)",
-							target, frac, cf.Price, bi.Price, d, tol)
+					if !floats.RelEqual(cf.Price, bi.Price, 1e-9) {
+						t.Errorf("target %v (frac %v): price %v vs %v",
+							target, frac, cf.Price, bi.Price)
 					}
-					if d := math.Abs(cf.SuppliedW - bi.SuppliedW); d > 1e-9*(1+maxW) {
+					if !floats.AbsEqual(cf.SuppliedW, bi.SuppliedW, 1e-9*(1+maxW)) {
 						t.Errorf("target %v: supplied %v vs %v", target, cf.SuppliedW, bi.SuppliedW)
 					}
 					// Exactness: the closed form itself meets the target and
@@ -94,17 +93,16 @@ func TestClosedFormMatchesBisection(t *testing.T) {
 					// Infeasible prices are saturation sentinels and may
 					// differ between solvers; everyone must be saturated.
 					for i, p := range ps {
-						if math.Abs(cf.Reductions[i]-p.Bid.Delta) > 1e-6*(1+p.Bid.Delta) {
+						if !floats.RelEqual(cf.Reductions[i], p.Bid.Delta, 1e-6) {
 							t.Fatalf("infeasible: participant %d not saturated: %v vs Δ=%v",
 								i, cf.Reductions[i], p.Bid.Delta)
 						}
 					}
 				}
 				for i := range ps {
-					tol := 1e-9 * (1 + ps[i].Bid.Delta)
-					if d := math.Abs(cf.Reductions[i] - bi.Reductions[i]); d > tol {
-						t.Errorf("target %v: reduction[%d] %v vs %v (Δ %.3g)",
-							target, i, cf.Reductions[i], bi.Reductions[i], d)
+					if !floats.AbsEqual(cf.Reductions[i], bi.Reductions[i], 1e-9*(1+ps[i].Bid.Delta)) {
+						t.Errorf("target %v: reduction[%d] %v vs %v",
+							target, i, cf.Reductions[i], bi.Reductions[i])
 					}
 				}
 			}
@@ -122,7 +120,7 @@ func TestMarketIndexSupplyMatchesNaive(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if math.Abs(ix.MaxSupplyW()-poolMaxW(ps)) > 1e-6 {
+		if !floats.AbsEqual(ix.MaxSupplyW(), poolMaxW(ps), 1e-6) {
 			t.Errorf("n=%d: MaxSupplyW %v vs %v", n, ix.MaxSupplyW(), poolMaxW(ps))
 		}
 		prices := []float64{0, 1e-9, 0.01, 0.1, 0.5, 1, 3, 10, 100, 1e6}
@@ -132,7 +130,7 @@ func TestMarketIndexSupplyMatchesNaive(t *testing.T) {
 				naive += p.WattsPerCore * p.Bid.Supply(q)
 			}
 			got := ix.SupplyW(q)
-			if d := math.Abs(got - naive); d > 1e-7*(1+naive) {
+			if !floats.RelEqual(got, naive, 1e-7) {
 				t.Errorf("n=%d q=%v: SupplyW %v vs naive %v", n, q, got, naive)
 			}
 		}
@@ -349,7 +347,7 @@ func TestInteractiveSolverModesAgree(t *testing.T) {
 	if fast.Converged != slow.Converged || fast.Rounds != slow.Rounds {
 		t.Errorf("closed form %+v vs bisection %+v", fast, slow)
 	}
-	if math.Abs(fast.Price-slow.Price) > 1e-6*(1+slow.Price) {
+	if !floats.RelEqual(fast.Price, slow.Price, 1e-6) {
 		t.Errorf("equilibrium price %v vs %v", fast.Price, slow.Price)
 	}
 }
@@ -415,7 +413,7 @@ func TestClosedFormOnProfilePool(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if math.Abs(cf.Price-bi.Price) > 1e-9*(1+cf.Price) {
+		if !floats.RelEqual(cf.Price, bi.Price, 1e-9) {
 			t.Errorf("frac %v: price %v vs %v", frac, cf.Price, bi.Price)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"mpr/internal/check/floats"
 	"mpr/internal/perf"
 )
 
@@ -257,7 +258,7 @@ func TestEQLUniformFraction(t *testing.T) {
 	frac0 := res.Reductions[0] / ps[0].Cores
 	for i, p := range ps {
 		f := res.Reductions[i] / p.Cores
-		if math.Abs(f-frac0) > 1e-9 {
+		if !floats.AbsEqual(f, frac0, 1e-9) {
 			t.Errorf("fraction %d = %v, want uniform %v", i, f, frac0)
 		}
 	}
@@ -274,7 +275,7 @@ func TestEQLInfeasibleBeyondFloor(t *testing.T) {
 		t.Error("EQL should be infeasible beyond the uniform floor")
 	}
 	for i, p := range ps {
-		if math.Abs(res.Reductions[i]/p.Cores-0.7) > 1e-9 {
+		if !floats.AbsEqual(res.Reductions[i]/p.Cores, 0.7, 1e-9) {
 			t.Errorf("infeasible EQL should saturate at min MaxFrac")
 		}
 	}

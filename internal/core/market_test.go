@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"mpr/internal/check/floats"
 	"mpr/internal/perf"
 )
 
@@ -55,13 +56,13 @@ func TestBidSupplyShape(t *testing.T) {
 		t.Errorf("supply(0) = %v", s)
 	}
 	// Activation at q = b/Δ = 0.2.
-	if s := b.Supply(0.2); math.Abs(s) > 1e-12 {
+	if s := b.Supply(0.2); !floats.AbsEqual(s, 0, 1e-12) {
 		t.Errorf("supply at activation = %v", s)
 	}
-	if s := b.Supply(0.4); math.Abs(s-0.35) > 1e-12 {
+	if s := b.Supply(0.4); !floats.AbsEqual(s, 0.35, 1e-12) {
 		t.Errorf("supply(0.4) = %v, want 0.35", s)
 	}
-	if s := b.Supply(1e12); math.Abs(s-0.7) > 1e-6 {
+	if s := b.Supply(1e12); !floats.AbsEqual(s, 0.7, 1e-6) {
 		t.Errorf("supply at huge price = %v, want ~Δ", s)
 	}
 	// Fully willing bidder: full supply at any price.
@@ -102,7 +103,7 @@ func TestBidValidate(t *testing.T) {
 }
 
 func TestActivationPrice(t *testing.T) {
-	if ap := (Bid{Delta: 0.7, B: 0.14}).ActivationPrice(); math.Abs(ap-0.2) > 1e-12 {
+	if ap := (Bid{Delta: 0.7, B: 0.14}).ActivationPrice(); !floats.AbsEqual(ap, 0.2, 1e-12) {
 		t.Errorf("activation = %v", ap)
 	}
 	if ap := (Bid{Delta: 0, B: 5}).ActivationPrice(); ap != 0 {
@@ -172,7 +173,7 @@ func TestClearInfeasible(t *testing.T) {
 	}
 	// Every participant saturates at its maximum.
 	for i, p := range ps {
-		if math.Abs(res.Reductions[i]-p.Bid.Delta) > 1e-3 {
+		if !floats.AbsEqual(res.Reductions[i], p.Bid.Delta, 1e-3) {
 			t.Errorf("participant %d not saturated: %v vs Δ=%v", i, res.Reductions[i], p.Bid.Delta)
 		}
 	}
@@ -244,11 +245,11 @@ func TestSettle(t *testing.T) {
 	if len(ss) != len(ps) {
 		t.Fatalf("settlements = %d", len(ss))
 	}
-	if math.Abs(TotalPayment(ss)-res.PayoutRate) > 1e-9 {
+	if !floats.AbsEqual(TotalPayment(ss), res.PayoutRate, 1e-9) {
 		t.Errorf("total payment %v != payout rate %v", TotalPayment(ss), res.PayoutRate)
 	}
 	for _, s := range ss {
-		if math.Abs(s.NetGainRate-(s.PaymentRate-s.CostRate)) > 1e-12 {
+		if !floats.AbsEqual(s.NetGainRate, s.PaymentRate-s.CostRate, 1e-12) {
 			t.Errorf("net gain arithmetic: %+v", s)
 		}
 	}
@@ -335,7 +336,7 @@ func TestRationalBidderSupplyMatchesOptimum(t *testing.T) {
 	for _, q := range []float64{0.2, 0.5, 1.0, 2.0} {
 		bid := rb.RespondBid(q)
 		want := 10 * model.GainMaximizingReduction(q)
-		if got := bid.Supply(q); math.Abs(got-want) > 1e-6 {
+		if got := bid.Supply(q); !floats.AbsEqual(got, want, 1e-6) {
 			t.Errorf("q=%v: bid supplies %v, gain-optimal is %v", q, got, want)
 		}
 	}

@@ -1,8 +1,9 @@
 package core
 
 import (
-	"math"
 	"testing"
+
+	"mpr/internal/check/floats"
 )
 
 func TestPriorityCutsLowTierFirst(t *testing.T) {
@@ -39,7 +40,7 @@ func TestPriorityCascades(t *testing.T) {
 		t.Fatal("infeasible")
 	}
 	for i := 0; i < 2; i++ {
-		if math.Abs(res.Reductions[i]-ps[i].MaxReduction()) > 1e-9 {
+		if !floats.AbsEqual(res.Reductions[i], ps[i].MaxReduction(), 1e-9) {
 			t.Errorf("tier 0 job %d not saturated: %v", i, res.Reductions[i])
 		}
 	}
@@ -64,7 +65,7 @@ func TestPriorityInfeasible(t *testing.T) {
 		t.Error("should be infeasible")
 	}
 	for i, p := range ps {
-		if math.Abs(res.Reductions[i]-p.MaxReduction()) > 1e-9 {
+		if !floats.AbsEqual(res.Reductions[i], p.MaxReduction(), 1e-9) {
 			t.Errorf("job %d not saturated under infeasibility", i)
 		}
 	}

@@ -1,9 +1,9 @@
 package core
 
 import (
-	"math"
 	"testing"
 
+	"mpr/internal/check/floats"
 	"mpr/internal/perf"
 )
 
@@ -131,7 +131,7 @@ func TestVCGLoneSupplier(t *testing.T) {
 	if !res.Pivotal[0] {
 		t.Error("lone supplier should be pivotal")
 	}
-	if math.Abs(res.Payments[0]-ps[0].Cost(res.Reductions[0])) > 1e-6 {
+	if !floats.AbsEqual(res.Payments[0], ps[0].Cost(res.Reductions[0]), 1e-6) {
 		t.Errorf("lone supplier payment %v should equal cost %v",
 			res.Payments[0], ps[0].Cost(res.Reductions[0]))
 	}

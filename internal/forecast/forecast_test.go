@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"mpr/internal/check/floats"
 )
 
 func mustNew(t *testing.T, cfg Config) *Forecaster {
@@ -37,7 +39,7 @@ func TestConstantSeries(t *testing.T) {
 		f.Observe(500)
 	}
 	for _, h := range []int{1, 5, 20} {
-		if v := f.Predict(h); math.Abs(v-500) > 1 {
+		if v := f.Predict(h); !floats.AbsEqual(v, 500, 1) {
 			t.Errorf("Predict(%d) = %v on constant 500", h, v)
 		}
 	}
@@ -49,7 +51,7 @@ func TestLinearTrend(t *testing.T) {
 		f.Observe(100 + 2*float64(i))
 	}
 	// Next value should be ~100 + 2*300 = 700; 10 ahead ~718.
-	if v := f.Predict(1); math.Abs(v-702) > 20 {
+	if v := f.Predict(1); !floats.AbsEqual(v, 702, 20) {
 		t.Errorf("Predict(1) = %v, want ~702", v)
 	}
 	if v10, v1 := f.Predict(10), f.Predict(1); v10 <= v1 {
@@ -104,7 +106,7 @@ func TestNotReadyFallsBack(t *testing.T) {
 		t.Error("ready with no data")
 	}
 	f.Observe(700)
-	if v := f.Predict(3); math.Abs(v-700) > 1e-9 {
+	if v := f.Predict(3); !floats.AbsEqual(v, 700, 1e-9) {
 		t.Errorf("unready prediction = %v, want last value", v)
 	}
 	for i := 0; i < 4; i++ {

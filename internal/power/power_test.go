@@ -4,13 +4,15 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"mpr/internal/check/floats"
 )
 
 func TestJobPowerGaiaPeak(t *testing.T) {
 	// Paper: 2012-core peak allocation → 301.8 kW with 25 W static,
 	// 125 W dynamic per core.
 	m := DefaultCPUCoreModel
-	if got := m.PeakPower(2012); math.Abs(got-301800) > 1e-6 {
+	if got := m.PeakPower(2012); !floats.AbsEqual(got, 301800, 1e-6) {
 		t.Errorf("Gaia peak = %v W, want 301800", got)
 	}
 }
@@ -33,7 +35,7 @@ func TestReductionWattsRoundTrip(t *testing.T) {
 	prop := func(raw float64) bool {
 		d := math.Abs(math.Mod(raw, 100))
 		w := m.ReductionWatts(d)
-		return math.Abs(m.CoresForWatts(w)-d) < 1e-9
+		return floats.AbsEqual(m.CoresForWatts(w), d, 1e-9)
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Error(err)
@@ -49,7 +51,7 @@ func TestReductionWattsRoundTrip(t *testing.T) {
 func TestOversubscriptionCapacity(t *testing.T) {
 	o := Oversubscription{PeakW: 301800, Percent: 20}
 	want := 301800.0 * 100 / 120
-	if got := o.Capacity(); math.Abs(got-want) > 1e-9 {
+	if got := o.Capacity(); !floats.AbsEqual(got, want, 1e-9) {
 		t.Errorf("capacity = %v, want %v", got, want)
 	}
 	// 0% oversubscription: capacity equals peak.
@@ -63,7 +65,7 @@ func TestOversubscriptionExtraCoreHours(t *testing.T) {
 	// Table I: 2004 cores at 10% → ~144K core-hours/month (720 h).
 	o := Oversubscription{PeakW: 1, Percent: 10}
 	got := o.ExtraCoreHours(2004, 720)
-	if math.Abs(got-144288) > 1 {
+	if !floats.AbsEqual(got, 144288, 1) {
 		t.Errorf("extra core-hours = %v, want ~144288", got)
 	}
 }
@@ -91,7 +93,7 @@ func TestUniformInfrastructure(t *testing.T) {
 	}
 	inf.SpreadLoad(90000)
 	total, over := inf.Evaluate()
-	if math.Abs(total-90000) > 1e-6 {
+	if !floats.AbsEqual(total, 90000, 1e-6) {
 		t.Errorf("total = %v", total)
 	}
 	if len(over) != 0 {
@@ -104,7 +106,7 @@ func TestUniformInfrastructure(t *testing.T) {
 	if len(over) != 1 || over[0].Kind != KindUPS {
 		t.Fatalf("overloads = %+v, want single UPS overload", over)
 	}
-	if math.Abs(over[0].ExcessW()-10000) > 1e-6 {
+	if !floats.AbsEqual(over[0].ExcessW(), 10000, 1e-6) {
 		t.Errorf("excess = %v, want 10000", over[0].ExcessW())
 	}
 }
@@ -196,7 +198,7 @@ func TestEmergencyDeclareAndTarget(t *testing.T) {
 		t.Fatalf("decision = %+v, want declare", d)
 	}
 	// ΔP = 1100 − 0.99·1000 = 110.
-	if math.Abs(d.TargetW-110) > 1e-9 {
+	if !floats.AbsEqual(d.TargetW, 110, 1e-9) {
 		t.Errorf("target = %v, want 110", d.TargetW)
 	}
 }
@@ -244,7 +246,7 @@ func TestEmergencyCooldownAndLift(t *testing.T) {
 	if !d.Lift || d.State != StateNormal {
 		t.Fatalf("decision = %+v, want lift", d)
 	}
-	if math.Abs(d.TargetW-target) > 1e-9 {
+	if !floats.AbsEqual(d.TargetW, target, 1e-9) {
 		t.Errorf("lift reports target %v, want %v", d.TargetW, target)
 	}
 	if ec.TargetW() != 0 {
@@ -276,7 +278,7 @@ func TestEmergencyRaiseTarget(t *testing.T) {
 	if !d.Raise {
 		t.Fatalf("decision = %+v, want raise", d)
 	}
-	if math.Abs(d.TargetW-(1300-990)) > 1e-9 {
+	if !floats.AbsEqual(d.TargetW, 1300-990, 1e-9) {
 		t.Errorf("raised target = %v, want 310", d.TargetW)
 	}
 	// No raise when delivered stays within capacity.

@@ -1,9 +1,9 @@
 package sim
 
 import (
-	"math"
 	"testing"
 
+	"mpr/internal/check/floats"
 	"mpr/internal/perf"
 	"mpr/internal/power"
 	"mpr/internal/trace"
@@ -238,10 +238,10 @@ func TestPerProfileAccounting(t *testing.T) {
 	if sumJobs != res.JobsTotal {
 		t.Errorf("profile job sum %d != total %d", sumJobs, res.JobsTotal)
 	}
-	if math.Abs(sumRed-res.ReductionCoreH) > 1e-6 {
+	if !floats.AbsEqual(sumRed, res.ReductionCoreH, 1e-6) {
 		t.Errorf("profile reduction sum %v != total %v", sumRed, res.ReductionCoreH)
 	}
-	if math.Abs(sumCost-res.CostCoreH) > 1e-6 {
+	if !floats.AbsEqual(sumCost, res.CostCoreH, 1e-6) {
 		t.Errorf("profile cost sum %v != total %v", sumCost, res.CostCoreH)
 	}
 	// Insensitive apps give up more than sensitive ones under MPR-INT

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"mpr/internal/check/floats"
 )
 
 func TestBisectLinear(t *testing.T) {
@@ -11,7 +13,7 @@ func TestBisectLinear(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Bisect: %v", err)
 	}
-	if math.Abs(root-1.5) > 1e-9 {
+	if !floats.AbsEqual(root, 1.5, 1e-9) {
 		t.Errorf("root = %v, want 1.5", root)
 	}
 }
@@ -44,7 +46,7 @@ func TestBisectNonSmooth(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Bisect: %v", err)
 	}
-	if math.Abs(root-2) > 1e-6 {
+	if !floats.AbsEqual(root, 2, 1e-6) {
 		t.Errorf("root = %v, want ~2", root)
 	}
 }
@@ -52,7 +54,7 @@ func TestBisectNonSmooth(t *testing.T) {
 func TestBisectMin(t *testing.T) {
 	g := func(x float64) float64 { return x - 4 }
 	x, ok := BisectMin(g, 0, 10, 1e-10)
-	if !ok || math.Abs(x-4) > 1e-6 {
+	if !ok || !floats.AbsEqual(x, 4, 1e-6) {
 		t.Errorf("BisectMin = %v, %v; want ~4, true", x, ok)
 	}
 }
@@ -93,7 +95,7 @@ func TestBisectMinMinimality(t *testing.T) {
 func TestGoldenMax(t *testing.T) {
 	// f(x) = -(x-3)^2 has max at 3.
 	x := GoldenMax(func(x float64) float64 { return -(x - 3) * (x - 3) }, 0, 10, 1e-9)
-	if math.Abs(x-3) > 1e-6 {
+	if !floats.AbsEqual(x, 3, 1e-6) {
 		t.Errorf("GoldenMax = %v, want 3", x)
 	}
 }
@@ -101,12 +103,12 @@ func TestGoldenMax(t *testing.T) {
 func TestGoldenMaxBoundary(t *testing.T) {
 	// Monotone increasing: argmax at hi.
 	x := GoldenMax(func(x float64) float64 { return x }, 0, 5, 1e-9)
-	if math.Abs(x-5) > 1e-5 {
+	if !floats.AbsEqual(x, 5, 1e-5) {
 		t.Errorf("GoldenMax monotone = %v, want 5", x)
 	}
 	// Monotone decreasing: argmax at lo.
 	x = GoldenMax(func(x float64) float64 { return -x }, 0, 5, 1e-9)
-	if math.Abs(x) > 1e-5 {
+	if !floats.AbsEqual(x, 0, 1e-5) {
 		t.Errorf("GoldenMax decreasing = %v, want 0", x)
 	}
 }
@@ -141,7 +143,7 @@ func TestDualBisectionQuadratic(t *testing.T) {
 	for _, x := range res.X {
 		supply += x
 	}
-	if math.Abs(supply-10) > 1e-4 {
+	if !floats.AbsEqual(supply, 10, 1e-4) {
 		t.Errorf("supply = %v, want 10", supply)
 	}
 	// KKT: 2 w_m x_m equal across interior coordinates.
@@ -149,7 +151,7 @@ func TestDualBisectionQuadratic(t *testing.T) {
 	for m, x := range res.X {
 		w := float64(m%5 + 1)
 		if x > 1e-9 && x < 10-1e-9 {
-			if math.Abs(2*w*x-ref) > 1e-3 {
+			if !floats.AbsEqual(2*w*x, ref, 1e-3) {
 				t.Errorf("KKT violated at %d: %v vs %v", m, 2*w*x, ref)
 			}
 		}
@@ -179,7 +181,7 @@ func TestDualBisectionInfeasible(t *testing.T) {
 	}
 	// Should saturate all variables.
 	for m, x := range res.X {
-		if math.Abs(x-10) > 1e-6 {
+		if !floats.AbsEqual(x, 10, 1e-6) {
 			t.Errorf("x[%d] = %v, want saturated 10", m, x)
 		}
 	}
@@ -216,7 +218,7 @@ func TestLinearFit(t *testing.T) {
 		y[i] = 3*x[i] + 7
 	}
 	slope, intercept := LinearFit(x, y)
-	if math.Abs(slope-3) > 1e-9 || math.Abs(intercept-7) > 1e-9 {
+	if !floats.AbsEqual(slope, 3, 1e-9) || !floats.AbsEqual(intercept, 7, 1e-9) {
 		t.Errorf("fit = %v, %v; want 3, 7", slope, intercept)
 	}
 }
@@ -228,7 +230,7 @@ func TestLinearFitDegenerate(t *testing.T) {
 	}
 	// All x equal: slope undefined, returns mean as intercept.
 	slope, intercept = LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
-	if slope != 0 || math.Abs(intercept-2) > 1e-9 {
+	if slope != 0 || !floats.AbsEqual(intercept, 2, 1e-9) {
 		t.Errorf("degenerate fit = %v, %v; want 0, 2", slope, intercept)
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"mpr/internal/check/floats"
 )
 
 func TestSummarize(t *testing.T) {
@@ -13,11 +15,11 @@ func TestSummarize(t *testing.T) {
 	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Sum != 10 {
 		t.Errorf("summary = %+v", s)
 	}
-	if math.Abs(s.Mean-2.5) > 1e-12 {
+	if !floats.AbsEqual(s.Mean, 2.5, 1e-12) {
 		t.Errorf("mean = %v", s.Mean)
 	}
 	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 4)
-	if math.Abs(s.Stddev-want) > 1e-12 {
+	if !floats.AbsEqual(s.Stddev, want, 1e-12) {
 		t.Errorf("stddev = %v, want %v", s.Stddev, want)
 	}
 }
@@ -34,7 +36,7 @@ func TestCDFAt(t *testing.T) {
 		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
 	}
 	for _, tc := range cases {
-		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+		if got := c.At(tc.x); !floats.AbsEqual(got, tc.want, 1e-12) {
 			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
 		}
 	}
@@ -42,7 +44,7 @@ func TestCDFAt(t *testing.T) {
 
 func TestCDFTail(t *testing.T) {
 	c := NewCDF([]float64{1, 2, 3, 4})
-	if got := c.Tail(2); math.Abs(got-0.5) > 1e-12 {
+	if got := c.Tail(2); !floats.AbsEqual(got, 0.5, 1e-12) {
 		t.Errorf("Tail(2) = %v, want 0.5", got)
 	}
 }
@@ -140,10 +142,10 @@ func TestSeries(t *testing.T) {
 	if s.Max() != 9 {
 		t.Errorf("max = %v", s.Max())
 	}
-	if math.Abs(s.Mean()-4.5) > 1e-12 {
+	if !floats.AbsEqual(s.Mean(), 4.5, 1e-12) {
 		t.Errorf("mean = %v", s.Mean())
 	}
-	if f := s.FractionAbove(4.5); math.Abs(f-0.5) > 1e-12 {
+	if f := s.FractionAbove(4.5); !floats.AbsEqual(f, 0.5, 1e-12) {
 		t.Errorf("fractionAbove = %v", f)
 	}
 }
@@ -165,7 +167,7 @@ func TestSeriesDownsample(t *testing.T) {
 		t.Fatalf("downsampled len = %d", d.Len())
 	}
 	for _, v := range d.V {
-		if math.Abs(v-1.0) > 1e-12 {
+		if !floats.AbsEqual(v, 1.0, 1e-12) {
 			t.Errorf("bucket mean = %v, want 1", v)
 		}
 	}

@@ -1,8 +1,9 @@
 package tco
 
 import (
-	"math"
 	"testing"
+
+	"mpr/internal/check/floats"
 )
 
 func TestParamsDefaults(t *testing.T) {
@@ -43,7 +44,7 @@ func TestEvaluateBaseline(t *testing.T) {
 		t.Errorf("breakdown = %+v", b)
 	}
 	sum := b.InfraCapital + b.ServerCapital + b.Electricity + b.RewardPayoff
-	if math.Abs(sum-b.Total) > 1e-9 {
+	if !floats.AbsEqual(sum, b.Total, 1e-9) {
 		t.Errorf("components %v != total %v", sum, b.Total)
 	}
 }
@@ -74,7 +75,7 @@ func TestOversubscriptionLowersUnitCost(t *testing.T) {
 	}
 	// Infrastructure capital unchanged; server capital and electricity
 	// grow with the added cores.
-	if math.Abs(over.InfraCapital-base.InfraCapital) > 1e-9 {
+	if !floats.AbsEqual(over.InfraCapital, base.InfraCapital, 1e-9) {
 		t.Error("oversubscription must not change infrastructure capital")
 	}
 	if over.ServerCapital <= base.ServerCapital || over.Electricity <= base.Electricity {

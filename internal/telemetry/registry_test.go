@@ -1,10 +1,11 @@
 package telemetry
 
 import (
-	"math"
 	"strings"
 	"sync"
 	"testing"
+
+	"mpr/internal/check/floats"
 )
 
 func TestNilRegistryIsNop(t *testing.T) {
@@ -106,10 +107,10 @@ func TestHistogramBucketEdges(t *testing.T) {
 		t.Fatalf("count = %d, want 7", snap.Count)
 	}
 	wantSum := 0.5 + 1 + 1.0000001 + 2 + 4 + 4.5 + 100
-	if math.Abs(snap.Sum-wantSum) > 1e-9 {
+	if !floats.AbsEqual(snap.Sum, wantSum, 1e-9) {
 		t.Fatalf("sum = %g, want %g", snap.Sum, wantSum)
 	}
-	if math.Abs(snap.Mean()-wantSum/7) > 1e-9 {
+	if !floats.AbsEqual(snap.Mean(), wantSum/7, 1e-9) {
 		t.Fatalf("mean = %g, want %g", snap.Mean(), wantSum/7)
 	}
 }

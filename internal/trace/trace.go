@@ -50,6 +50,13 @@ type Trace struct {
 	TotalCores int
 	// Jobs is ordered by submit time.
 	Jobs []Job
+	// Malformed counts data lines ParseSWF could not decode (truncated
+	// or non-numeric fields). Archive logs routinely carry damaged
+	// lines, so the parser skips and counts them instead of failing.
+	Malformed int
+	// Skipped counts well-formed jobs ParseSWF dropped for unknown (-1)
+	// or non-positive runtime or processor count.
+	Skipped int
 }
 
 // Validate checks trace invariants: jobs ordered by submit time, positive

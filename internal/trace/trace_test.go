@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"mpr/internal/check/floats"
 )
 
 func TestJobAccessors(t *testing.T) {
@@ -92,6 +94,9 @@ func TestParseSWF(t *testing.T) {
 	if len(tr.Jobs) != 3 {
 		t.Fatalf("jobs = %d, want 3", len(tr.Jobs))
 	}
+	if tr.Skipped != 2 || tr.Malformed != 0 {
+		t.Errorf("skipped = %d, malformed = %d, want 2, 0", tr.Skipped, tr.Malformed)
+	}
 	if tr.Jobs[0].ID != 1 || tr.Jobs[0].Wait != 10 || tr.Jobs[0].Cores != 16 {
 		t.Errorf("job 1 = %+v", tr.Jobs[0])
 	}
@@ -115,19 +120,71 @@ func TestParseSWFNoHeader(t *testing.T) {
 	}
 }
 
-func TestParseSWFErrors(t *testing.T) {
-	cases := []string{
-		"1 2 3\n",       // too few fields
-		"x 0 0 100 4\n", // bad id
-		"1 x 0 100 4\n", // bad submit
-		"1 0 x 100 4\n", // bad wait
-		"1 0 0 x 4\n",   // bad runtime
-		"1 0 0 100 x\n", // bad procs
+// TestParseSWFMalformed: damaged data lines are skipped and counted —
+// never fatal, never panicking — and the surviving jobs still form a
+// valid trace. Archive logs carry this kind of damage routinely.
+func TestParseSWFMalformed(t *testing.T) {
+	good := "7 50 0 100 4 -1 -1 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1\n"
+	cases := []struct {
+		name      string
+		input     string
+		malformed int
+		skipped   int
+		jobs      int
+	}{
+		{"truncated", "1 2 3\n" + good, 1, 0, 1},
+		{"empty fields only", "   \n\t\n" + good, 0, 0, 1},
+		{"bad id", "x 0 0 100 4\n" + good, 1, 0, 1},
+		{"bad submit", "1 x 0 100 4\n" + good, 1, 0, 1},
+		{"bad wait", "1 0 x 100 4\n" + good, 1, 0, 1},
+		{"bad runtime", "1 0 0 x 4\n" + good, 1, 0, 1},
+		{"bad procs", "1 0 0 100 x\n" + good, 1, 0, 1},
+		{"float runtime", "1 0 0 1.5 4\n" + good, 1, 0, 1},
+		{"negative runtime", "1 0 0 -7 4\n" + good, 0, 1, 1},
+		{"unknown runtime", "1 0 0 -1 4\n" + good, 0, 1, 1},
+		{"zero procs", "1 0 0 100 0\n" + good, 0, 1, 1},
+		{"mixed damage", "garbage\n1 2 3\n" + good + "2 0 0 -1 4\n", 2, 1, 1},
+		{"all damaged", "a b c\nd e f\n", 2, 0, 0},
 	}
 	for _, c := range cases {
-		if _, err := ParseSWF(strings.NewReader(c), "bad"); err == nil {
-			t.Errorf("input %q should fail", c)
+		t.Run(c.name, func(t *testing.T) {
+			tr, err := ParseSWF(strings.NewReader(c.input), c.name)
+			if err != nil {
+				t.Fatalf("malformed input must not be fatal: %v", err)
+			}
+			if tr.Malformed != c.malformed || tr.Skipped != c.skipped || len(tr.Jobs) != c.jobs {
+				t.Errorf("malformed=%d skipped=%d jobs=%d, want %d/%d/%d",
+					tr.Malformed, tr.Skipped, len(tr.Jobs), c.malformed, c.skipped, c.jobs)
+			}
+			if len(tr.Jobs) > 0 {
+				if err := tr.Validate(); err != nil {
+					t.Errorf("surviving jobs invalid: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// Out-of-order submit timestamps are legal in archive logs; the parser
+// re-sorts so the Validate ordering invariant holds on the result.
+func TestParseSWFOutOfOrder(t *testing.T) {
+	input := "3 200 0 100 2 -1 -1 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1\n" +
+		"1 0 0 100 2 -1 -1 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1\n" +
+		"2 100 0 100 2 -1 -1 -1 -1 -1 1 1 1 -1 -1 -1 -1 -1\n"
+	tr, err := ParseSWF(strings.NewReader(input), "ooo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 3 {
+		t.Fatalf("jobs = %d, want 3", len(tr.Jobs))
+	}
+	for i, want := range []int{1, 2, 3} {
+		if tr.Jobs[i].ID != want {
+			t.Errorf("job[%d].ID = %d, want %d", i, tr.Jobs[i].ID, want)
 		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("re-sorted trace invalid: %v", err)
 	}
 }
 
@@ -215,7 +272,7 @@ func TestGenerateValidAndCalibrated(t *testing.T) {
 		mean += cdf.Quantile(p)
 	}
 	mean /= 5
-	if math.Abs(mean-0.7) > 0.12 {
+	if !floats.AbsEqual(mean, 0.7, 0.12) {
 		t.Errorf("mean utilization %.3f far from 0.7", mean)
 	}
 	// Peak never exceeds the cluster.
@@ -349,7 +406,7 @@ func TestUtilizationCDF(t *testing.T) {
 		t.Fatal("empty CDF")
 	}
 	// Utilization constantly 0.5.
-	if q := cdf.Quantile(0.5); math.Abs(q-0.5) > 1e-9 {
+	if q := cdf.Quantile(0.5); !floats.AbsEqual(q, 0.5, 1e-9) {
 		t.Errorf("median util = %v, want 0.5", q)
 	}
 }
