@@ -80,6 +80,38 @@ func BenchmarkStudy_TCO(b *testing.B)              { benchExperiment(b, "x5") }
 func BenchmarkStudy_PriorityCapping(b *testing.B)  { benchExperiment(b, "x6") }
 func BenchmarkStudy_PowerPhases(b *testing.B)      { benchExperiment(b, "x7") }
 
+// --- Sweep worker pool (DESIGN.md §9) ------------------------------------
+
+// benchSweep regenerates the Fig. 8 Gaia run-matrix — the canonical sweep
+// of oversubscription levels × algorithms — at the given worker-pool
+// bound. Caches are reset every iteration so each run pays the full
+// matrix cold, which is what the worker pool parallelizes; a warm run
+// would just replay memoized cells and measure nothing.
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	e, err := experiments.ByID("f8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Options{Seed: 1, Quick: true, Days: 2, Parallel: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCaches()
+		if _, err := e.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial vs BenchmarkSweepParallel is the headline number
+// of the parallel sweep engine: same matrix, same tables (bit-identical,
+// see TestSweepBitIdentity), worker pool bounded at 1 vs GOMAXPROCS. On
+// a 4+-core machine the parallel variant should be several times faster;
+// on a single-core runner the two are within noise by construction.
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
 // --- Market hot-path micro-benchmarks ------------------------------------
 
 func benchPool(b *testing.B, n int) ([]*core.Participant, []core.Bidder, float64) {

@@ -5,29 +5,61 @@
 //	mprbench -exp all            # every table/figure + ablations
 //	mprbench -exp f8,f9          # specific experiments
 //	mprbench -exp t1 -quick=false -seed 7
+//	mprbench -exp f8 -parallel 8 # bound the sweep worker pool
+//	mprbench -exp all -benchout BENCH_sweep.json
 //
 // Experiment IDs follow the paper: t1 (Table I), f1b, f2, f3, f4, f6, f7,
-// f8, f9, f10, f11, f12, f13, f14, f15, f16, f17, and the repository
-// ablations a1..a4. See DESIGN.md for the per-experiment index.
+// f8, f9, f10, f11, f12, f13, f14, f15, f16, f17, plus the repository
+// ablations a1..a6 and extension studies x1..x7. See DESIGN.md for the
+// per-experiment index.
+//
+// Sweeps fan their independent simulation cells across a worker pool
+// (-parallel; 0 = GOMAXPROCS, 1 = serial). Tables are bit-identical at
+// any worker count — see DESIGN.md §9 for the determinism contract.
+// -benchout writes a machine-readable per-experiment wall-clock report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"mpr/internal/experiments"
+	"mpr/internal/runner"
 )
+
+// benchReport is the -benchout JSON schema: enough context to compare
+// runs across machines and worker counts.
+type benchReport struct {
+	Schema       string           `json:"schema"`
+	GoVersion    string           `json:"go_version"`
+	GOMAXPROCS   int              `json:"gomaxprocs"`
+	Workers      int              `json:"workers"`
+	Seed         int64            `json:"seed"`
+	Quick        bool             `json:"quick"`
+	Experiments  []benchExpReport `json:"experiments"`
+	TotalSeconds float64          `json:"total_seconds"`
+}
+
+type benchExpReport struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+}
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
-		seed   = flag.Int64("seed", 1, "random seed")
-		quick  = flag.Bool("quick", true, "run reduced-scale experiments (full scale reproduces the paper's horizons but takes much longer)")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		format = flag.String("format", "text", "output format: text or markdown")
+		exp      = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		seed     = flag.Int64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", true, "run reduced-scale experiments (full scale reproduces the paper's horizons but takes much longer)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		format   = flag.String("format", "text", "output format: text or markdown")
+		parallel = flag.Int("parallel", 0, "sweep worker-pool bound: 0 = GOMAXPROCS, 1 = serial, n > 1 = up to n concurrent cells (tables are identical at any setting)")
+		benchout = flag.String("benchout", "", "write a machine-readable wall-clock report (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -52,7 +84,20 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Parallel: *parallel}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runner.DefaultWorkers()
+	}
+	report := benchReport{
+		Schema:     "mprbench/sweep/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Seed:       *seed,
+		Quick:      *quick,
+	}
+	suiteStart := time.Now()
 	for _, e := range selected {
 		start := time.Now()
 		res, err := e.Run(opts)
@@ -60,6 +105,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start).Seconds()
+		report.Experiments = append(report.Experiments, benchExpReport{
+			ID: e.ID, Title: e.Title, Seconds: elapsed,
+		})
 		switch *format {
 		case "markdown":
 			fmt.Printf("### %s — %s\n\n", res.ID, e.Title)
@@ -70,7 +119,7 @@ func main() {
 				fmt.Printf("*Note: %s.*\n\n", n)
 			}
 		default:
-			fmt.Printf("### %s — %s  (%.1fs)\n\n", res.ID, e.Title, time.Since(start).Seconds())
+			fmt.Printf("### %s — %s  (%.1fs)\n\n", res.ID, e.Title, elapsed)
 			for _, tbl := range res.Tables {
 				fmt.Println(tbl.String())
 			}
@@ -79,5 +128,28 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+	report.TotalSeconds = time.Since(suiteStart).Seconds()
+
+	if len(selected) > 1 && *format != "markdown" {
+		fmt.Printf("wall clock by experiment (workers=%d):\n", workers)
+		for _, r := range report.Experiments {
+			fmt.Printf("  %-4s %7.1fs  %s\n", r.ID, r.Seconds, r.Title)
+		}
+		fmt.Printf("  %-4s %7.1fs\n", "all", report.TotalSeconds)
+	}
+
+	if *benchout != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*benchout, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *benchout)
 	}
 }

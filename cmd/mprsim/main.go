@@ -1,11 +1,17 @@
-// Command mprsim runs one trace-driven simulation of an oversubscribed
-// HPC system with a chosen overload-handling algorithm and prints the
-// evaluation summary.
+// Command mprsim runs trace-driven simulations of an oversubscribed
+// HPC system with chosen overload-handling algorithms and prints the
+// evaluation summaries.
 //
 // Usage:
 //
 //	mprsim -trace gaia -days 30 -oversub 15 -algo MPR-INT
 //	mprsim -swf mylog.swf -oversub 10 -algo OPT
+//	mprsim -algo MPR-STAT,MPR-INT,EQL -parallel 3
+//
+// -algo accepts a comma-separated list; the runs are independent cells
+// executed on a worker pool bounded by -parallel (0 = GOMAXPROCS,
+// 1 = serial). The summaries print in the order the algorithms were
+// given and are identical at any worker count — see DESIGN.md §9.
 package main
 
 import (
@@ -13,7 +19,9 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
+	"mpr/internal/runner"
 	"mpr/internal/sim"
 	"mpr/internal/stats"
 	"mpr/internal/trace"
@@ -21,17 +29,18 @@ import (
 
 func main() {
 	var (
-		preset  = flag.String("trace", "gaia", "workload preset: gaia, pik, ricc, metacentrum")
-		swf     = flag.String("swf", "", "path to a Standard Workload Format log (overrides -trace)")
-		days    = flag.Int("days", 30, "trace horizon in days (synthetic presets only)")
-		oversub = flag.Float64("oversub", 15, "oversubscription percent")
-		algo    = flag.String("algo", "MPR-STAT", "algorithm: OPT, EQL, MPR-STAT, MPR-INT, NONE")
-		seed    = flag.Int64("seed", 1, "random seed")
-		part    = flag.Float64("participation", 1, "market participation fraction")
-		delay   = flag.Int("market-delay", 0, "slots between declaring an emergency and the reduction taking effect")
-		predict = flag.Bool("predict", false, "invoke the market early from a power forecast (Section III-D)")
-		phases  = flag.Float64("phases", 0, "per-job power phase amplitude (0 disables)")
-		series  = flag.Bool("series", false, "plot the power timeline as an ASCII chart")
+		preset   = flag.String("trace", "gaia", "workload preset: gaia, pik, ricc, metacentrum")
+		swf      = flag.String("swf", "", "path to a Standard Workload Format log (overrides -trace)")
+		days     = flag.Int("days", 30, "trace horizon in days (synthetic presets only)")
+		oversub  = flag.Float64("oversub", 15, "oversubscription percent")
+		algo     = flag.String("algo", "MPR-STAT", "comma-separated algorithms: OPT, EQL, MPR-STAT, MPR-INT, NONE")
+		seed     = flag.Int64("seed", 1, "random seed")
+		part     = flag.Float64("participation", 1, "market participation fraction")
+		delay    = flag.Int("market-delay", 0, "slots between declaring an emergency and the reduction taking effect")
+		predict  = flag.Bool("predict", false, "invoke the market early from a power forecast (Section III-D)")
+		phases   = flag.Float64("phases", 0, "per-job power phase amplitude (0 disables)")
+		series   = flag.Bool("series", false, "plot the power timeline as an ASCII chart")
+		parallel = flag.Int("parallel", 0, "worker-pool bound for multi-algorithm runs: 0 = GOMAXPROCS, 1 = serial")
 	)
 	flag.Parse()
 
@@ -45,26 +54,41 @@ func main() {
 	if *series {
 		record = 110
 	}
-	res, err := sim.Run(sim.Config{
-		Trace:            tr,
-		OversubPct:       *oversub,
-		Algorithm:        sim.Algorithm(*algo),
-		Seed:             *seed,
-		Participation:    *part,
-		MarketDelaySlots: *delay,
-		Predictive:       *predict,
-		PhaseAmp:         *phases,
-		RecordSeries:     record,
+	var algos []sim.Algorithm
+	for _, a := range strings.Split(*algo, ",") {
+		algos = append(algos, sim.Algorithm(strings.TrimSpace(a)))
+	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runner.DefaultWorkers()
+	}
+	// Each algorithm is an independent cell over the shared (read-only)
+	// trace; results land in submission order, so the printout below is
+	// identical no matter how the cells were scheduled.
+	results, err := runner.Map(workers, algos, func(_ int, a sim.Algorithm) (*sim.Result, error) {
+		return sim.Run(sim.Config{
+			Trace:            tr,
+			OversubPct:       *oversub,
+			Algorithm:        a,
+			Seed:             *seed,
+			Participation:    *part,
+			MarketDelaySlots: *delay,
+			Predictive:       *predict,
+			PhaseAmp:         *phases,
+			RecordSeries:     record,
+		})
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	printSummary(res)
-	if *series && res.DeliveredSeries != nil {
-		fmt.Println(stats.LineChart(
-			fmt.Sprintf("delivered power (W), capacity %.0f W (dashed)", res.CapacityW),
-			res.DeliveredSeries, 100, 14, res.CapacityW))
+	for _, res := range results {
+		printSummary(res)
+		if *series && res.DeliveredSeries != nil {
+			fmt.Println(stats.LineChart(
+				fmt.Sprintf("delivered power (W), capacity %.0f W (dashed)", res.CapacityW),
+				res.DeliveredSeries, 100, 14, res.CapacityW))
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"mpr/internal/core"
+	"mpr/internal/runner"
 )
 
 // DiffStats summarizes a differential run for reporting: how many
@@ -27,9 +28,37 @@ type DiffStats struct {
 	StatAboveEQL int
 }
 
+// add folds o into st field by field. The differential drivers run
+// instances in parallel and fold the per-instance stats in ascending
+// instance order, which performs the same additions in the same order
+// as the serial loop did — the aggregates (including the float cost
+// sums) are bit-identical at any worker count.
+func (st *DiffStats) add(o DiffStats) {
+	st.Instances += o.Instances
+	st.Participants += o.Participants
+	st.Infeasible += o.Infeasible
+	st.Singleton += o.Singleton
+	st.Capped += o.Capped
+	st.OPTCost += o.OPTCost
+	st.StatCost += o.StatCost
+	st.EQLCost += o.EQLCost
+	st.StatAboveEQL += o.StatAboveEQL
+}
+
+// foldStats reduces per-instance stats in index order (see add).
+func foldStats(parts []DiffStats) DiffStats {
+	var st DiffStats
+	for _, p := range parts {
+		st.add(p)
+	}
+	return st
+}
+
 // instanceSeed derives the per-instance seed from the base seed. A
 // failing instance is reproduced by NewGen(instanceSeed(base, i)) alone;
 // the multiplier decorrelates neighboring streams (LCG constant).
+// Instances are fully determined by their seed, never by execution
+// order, which is what lets the drivers fan out across the runner pool.
 func instanceSeed(base int64, i int) int64 {
 	return base + int64(i)*1664525
 }
@@ -42,17 +71,21 @@ func instanceSeed(base int64, i int) int64 {
 // invariant catalog. The returned error, if any, names the reproducing
 // instance seed.
 func DiffClearModes(baseSeed int64, instances, maxN int) (DiffStats, error) {
-	var st DiffStats
-	for i := 0; i < instances; i++ {
+	parts, err := runner.MapN(0, instances, func(i int) (DiffStats, error) {
 		seed := instanceSeed(baseSeed, i)
 		g := NewGen(seed)
 		ps := g.Pool(g.PoolSize(maxN))
 		target := g.Target(MaxSupplyW(ps))
+		var st DiffStats
 		if err := diffOneClear(ps, target, &st); err != nil {
 			return st, fmt.Errorf("check: instance seed %d (base %d, instance %d): %w", seed, baseSeed, i, err)
 		}
+		return st, nil
+	})
+	if err != nil {
+		return DiffStats{}, err
 	}
-	return st, nil
+	return foldStats(parts), nil
 }
 
 func diffOneClear(ps []*core.Participant, target float64, st *DiffStats) error {
@@ -139,8 +172,8 @@ func compareClears(ps []*core.Participant, target float64, a, b *core.ClearingRe
 // exactly at the clearing price — plus caps below every activation
 // price (zero-trade markets).
 func DiffCapped(baseSeed int64, instances, maxN int) (DiffStats, error) {
-	var st DiffStats
-	for i := 0; i < instances; i++ {
+	parts, err := runner.MapN(0, instances, func(i int) (DiffStats, error) {
+		var st DiffStats
 		seed := instanceSeed(baseSeed, i)
 		g := NewGen(seed)
 		ps := g.Pool(g.PoolSize(maxN))
@@ -163,8 +196,12 @@ func DiffCapped(baseSeed int64, instances, maxN int) (DiffStats, error) {
 		if err := diffOneCapped(ps, target, priceCap, &st); err != nil {
 			return st, fmt.Errorf("check: instance seed %d (base %d, instance %d): %w", seed, baseSeed, i, err)
 		}
+		return st, nil
+	})
+	if err != nil {
+		return DiffStats{}, err
 	}
-	return st, nil
+	return foldStats(parts), nil
 }
 
 // drawCap picks a price cap shape: a multiple of the uncapped clearing
@@ -275,8 +312,8 @@ func diffOneCapped(ps []*core.Participant, target, priceCap float64, st *DiffSta
 // verifies the paper's OPT ≤ STAT ≤ EQL total-cost ordering with
 // cooperative static bids on the same pool.
 func DiffMarketVsOPT(baseSeed int64, instances, maxN int) (DiffStats, error) {
-	var st DiffStats
-	for i := 0; i < instances; i++ {
+	parts, err := runner.MapN(0, instances, func(i int) (DiffStats, error) {
+		var st DiffStats
 		seed := instanceSeed(baseSeed, i)
 		g := NewGen(seed)
 		n := 1 + g.rng.Intn(maxN)
@@ -295,8 +332,12 @@ func DiffMarketVsOPT(baseSeed int64, instances, maxN int) (DiffStats, error) {
 		if err := diffOneMarketVsOPT(ps, bidders, costs, target, &st); err != nil {
 			return st, fmt.Errorf("check: instance seed %d (base %d, instance %d): %w", seed, baseSeed, i, err)
 		}
+		return st, nil
+	})
+	if err != nil {
+		return DiffStats{}, err
 	}
-	return st, nil
+	return foldStats(parts), nil
 }
 
 func diffOneMarketVsOPT(ps []*core.Participant, bidders []core.Bidder, costs []QuadCost, target float64, st *DiffStats) error {

@@ -47,20 +47,42 @@ type MarketIndex struct {
 // their current bids. The index keeps its own copy of the bids; later
 // changes to the participants are not seen unless applied via SetBid.
 func NewMarketIndex(ps []*Participant) (*MarketIndex, error) {
+	ix := &MarketIndex{}
+	if err := ix.Reset(ps); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Reset rebinds the index to a (possibly different) participant set,
+// validating like NewMarketIndex and rebuilding the activation order
+// from scratch. The backing arrays are reused whenever their capacity
+// suffices, so a long-lived index reset against same-size (or smaller)
+// pools — the simulation engine's per-invocation pattern — allocates
+// nothing.
+func (ix *MarketIndex) Reset(ps []*Participant) error {
 	for _, p := range ps {
 		if err := p.Validate(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	n := len(ps)
-	ix := &MarketIndex{
-		watts:  make([]float64, n),
-		bids:   make([]Bid, n),
-		key:    make([]float64, n),
-		order:  make([]int, n),
-		act:    make([]float64, n),
-		prefWD: make([]float64, n+1),
-		prefWB: make([]float64, n+1),
+	if cap(ix.watts) >= n && cap(ix.prefWD) >= n+1 {
+		ix.watts = ix.watts[:n]
+		ix.bids = ix.bids[:n]
+		ix.key = ix.key[:n]
+		ix.order = ix.order[:n]
+		ix.act = ix.act[:n]
+		ix.prefWD = ix.prefWD[:n+1]
+		ix.prefWB = ix.prefWB[:n+1]
+	} else {
+		ix.watts = make([]float64, n)
+		ix.bids = make([]Bid, n)
+		ix.key = make([]float64, n)
+		ix.order = make([]int, n)
+		ix.act = make([]float64, n)
+		ix.prefWD = make([]float64, n+1)
+		ix.prefWB = make([]float64, n+1)
 	}
 	for i, p := range ps {
 		ix.watts[i] = p.WattsPerCore
@@ -69,7 +91,7 @@ func NewMarketIndex(ps []*Participant) (*MarketIndex, error) {
 		ix.order[i] = i
 	}
 	ix.rebuild(true)
-	return ix, nil
+	return nil
 }
 
 // activationKey is the sort key: the activation price b/Δ, or +Inf for

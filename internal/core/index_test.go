@@ -221,6 +221,64 @@ func TestClearIntoZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestMarketIndexReset: an index reset onto another pool clears exactly
+// like a freshly built index over that pool, and same-size (or smaller)
+// resets reuse the backing arrays — zero allocations, the simulation
+// engine's per-invocation pattern.
+func TestMarketIndexReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ix, err := NewMarketIndex(randomPool(rng, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{300, 120, 1, 300, 700, 250} {
+		ps := randomPool(rng, n)
+		if err := ix.Reset(ps); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewMarketIndex(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := 0.4 * poolMaxW(ps)
+		var got, want ClearingResult
+		if err := ix.ClearInto(&got, target); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.ClearInto(&want, target); err != nil {
+			t.Fatal(err)
+		}
+		if got.Price != want.Price || got.Feasible != want.Feasible || got.SuppliedW != want.SuppliedW {
+			t.Fatalf("n=%d: reset clear (price %v feasible %v) != fresh (price %v feasible %v)",
+				n, got.Price, got.Feasible, want.Price, want.Feasible)
+		}
+		for i := range ps {
+			if got.Reductions[i] != want.Reductions[i] {
+				t.Fatalf("n=%d: reduction[%d] %v != %v", n, i, got.Reductions[i], want.Reductions[i])
+			}
+		}
+	}
+	// A bad bid must be rejected exactly like NewMarketIndex rejects it.
+	bad := randomPool(rng, 4)
+	bad[2].Bid.Delta = -1
+	if err := ix.Reset(bad); err == nil {
+		t.Fatal("Reset accepted an invalid bid")
+	}
+	// Steady-state resets over a same-size pool reuse the arrays.
+	steady := randomPool(rng, 700)
+	if err := ix.Reset(steady); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := ix.Reset(steady); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("same-size Reset allocated %v times per call, want 0", allocs)
+	}
+}
+
 // ClearCapped's capped branch must not run a full market clear: the
 // supply is evaluated at the cap first, observable both through the
 // solver-call counters and through Rounds = 0.

@@ -6,6 +6,7 @@ import (
 
 	"mpr/internal/core"
 	"mpr/internal/perf"
+	"mpr/internal/runner"
 	"mpr/internal/sim"
 	"mpr/internal/stats"
 )
@@ -30,8 +31,15 @@ func runAblationSolvers(o Options) (*Result, error) {
 	}
 	tbl := stats.NewTable("Ablation A1 — MClr bisection vs centralized solvers",
 		"jobs", "bisect ms", "dual ms", "generic ms", "cost bisect/OPT", "supplied/target")
-	for _, n := range sizes {
-		parts, _ := syntheticPool(n, o.seed())
+	// Pool construction fans out across the worker pool; the timed
+	// solver sections below stay serial so co-scheduled cells cannot
+	// distort the wall-clock columns (DESIGN.md §9).
+	pools, err := buildPools(o, sizes)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range sizes {
+		parts := pools[i].parts
 		target := poolTarget(parts)
 
 		t0 := time.Now()
@@ -74,19 +82,30 @@ func runAblationCostShape(o Options) (*Result, error) {
 	}
 	tbl := stats.NewTable("Ablation A2 — user cost shape at 15% oversubscription",
 		"cost shape", "algorithm", "cost (core-h)", "reward %")
+	type cell struct {
+		shape perf.CostShape
+		algo  sim.Algorithm
+	}
+	var cells []cell
 	for _, shape := range []perf.CostShape{perf.CostLinear, perf.CostQuadratic} {
 		for _, algo := range []sim.Algorithm{sim.AlgMPRStat, sim.AlgMPRInt} {
-			key := fmt.Sprintf("a2/%d/%d/%s/%s", o.seed(), o.gaiaDays(), algo, shape)
-			r, err := cachedRun(sim.Config{
-				Trace: tr, OversubPct: 15, Algorithm: algo,
-				Seed: o.seed(), CostShape: shape,
-			}, key)
-			if err != nil {
-				return nil, err
-			}
-			tbl.AddRow(shape.String(), string(algo), r.CostCoreH,
-				fmt.Sprintf("%.0f%%", r.RewardPercent()))
+			cells = append(cells, cell{shape, algo})
 		}
+	}
+	results, err := runner.Map(o.workers(), cells, func(_ int, c cell) (*sim.Result, error) {
+		key := fmt.Sprintf("a2/%d/%d/%s/%s", o.seed(), o.gaiaDays(), c.algo, c.shape)
+		return cachedRun(sim.Config{
+			Trace: tr, OversubPct: 15, Algorithm: c.algo,
+			Seed: o.seed(), CostShape: c.shape,
+		}, key)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		r := results[i]
+		tbl.AddRow(c.shape.String(), string(c.algo), r.CostCoreH,
+			fmt.Sprintf("%.0f%%", r.RewardPercent()))
 	}
 	return &Result{ID: "a2", Title: "Ablation A2", Tables: []*stats.Table{tbl}}, nil
 }
@@ -98,7 +117,7 @@ func runAblationBidStrategies(o Options) (*Result, error) {
 	}
 	tbl := stats.NewTable("Ablation A3 — MPR-STAT bid strategy at 15% oversubscription",
 		"strategy", "bid factor", "cost (core-h)", "reward %", "infeasible events")
-	for _, tc := range []struct {
+	cases := []struct {
 		name   string
 		factor float64
 	}{
@@ -106,15 +125,19 @@ func runAblationBidStrategies(o Options) (*Result, error) {
 		{"cooperative", 1.0},
 		{"conservative", 1.5},
 		{"very conservative", 2.5},
-	} {
-		key := fmt.Sprintf("a3/%d/%d/%.2f", o.seed(), o.gaiaDays(), tc.factor)
-		r, err := cachedRun(sim.Config{
+	}
+	results, err := runner.MapN(o.workers(), len(cases), func(i int) (*sim.Result, error) {
+		key := fmt.Sprintf("a3/%d/%d/%.2f", o.seed(), o.gaiaDays(), cases[i].factor)
+		return cachedRun(sim.Config{
 			Trace: tr, OversubPct: 15, Algorithm: sim.AlgMPRStat,
-			Seed: o.seed(), StatBidFactor: tc.factor,
+			Seed: o.seed(), StatBidFactor: cases[i].factor,
 		}, key)
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range cases {
+		r := results[i]
 		tbl.AddRow(tc.name, tc.factor, r.CostCoreH,
 			fmt.Sprintf("%.0f%%", r.RewardPercent()), r.InfeasibleEvents)
 	}
@@ -130,7 +153,7 @@ func runAblationHysteresis(o Options) (*Result, error) {
 	}
 	tbl := stats.NewTable("Ablation A4 — emergency hysteresis at 15% oversubscription",
 		"buffer", "cool-down (min)", "emergencies", "emergency minutes", "overload minutes")
-	for _, tc := range []struct {
+	cases := []struct {
 		buffer   float64
 		cooldown int
 	}{
@@ -138,15 +161,20 @@ func runAblationHysteresis(o Options) (*Result, error) {
 		{0.0001, 10}, // cool-down only
 		{0.01, 1},    // buffer only
 		{0.01, 10},   // the paper's setting
-	} {
+	}
+	results, err := runner.MapN(o.workers(), len(cases), func(i int) (*sim.Result, error) {
+		tc := cases[i]
 		key := fmt.Sprintf("a4/%d/%d/%.4f/%d", o.seed(), o.gaiaDays(), tc.buffer, tc.cooldown)
-		r, err := cachedRun(sim.Config{
+		return cachedRun(sim.Config{
 			Trace: tr, OversubPct: 15, Algorithm: sim.AlgMPRStat,
 			Seed: o.seed(), BufferFrac: tc.buffer, CooldownSlots: tc.cooldown,
 		}, key)
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range cases {
+		r := results[i]
 		tbl.AddRow(fmt.Sprintf("%.2f%%", 100*tc.buffer), tc.cooldown,
 			r.EmergencyCount, r.EmergencySlots, r.OverloadSlots)
 	}
@@ -167,7 +195,7 @@ func runAblationPredictive(o Options) (*Result, error) {
 	tbl := stats.NewTable("Ablation A5 — predictive market invocation (MPR-INT at 15%)",
 		"market delay (min)", "predictive", "overload minutes", "emergencies",
 		"cost (core-h)", "mean queue wait (min)")
-	for _, tc := range []struct {
+	cases := []struct {
 		delay      int
 		predictive bool
 	}{
@@ -176,16 +204,21 @@ func runAblationPredictive(o Options) (*Result, error) {
 		{3, true},
 		{5, false},
 		{5, true},
-	} {
+	}
+	results, err := runner.MapN(o.workers(), len(cases), func(i int) (*sim.Result, error) {
+		tc := cases[i]
 		key := fmt.Sprintf("a5/%d/%d/%d/%v", o.seed(), o.gaiaDays(), tc.delay, tc.predictive)
-		r, err := cachedRun(sim.Config{
+		return cachedRun(sim.Config{
 			Trace: tr, OversubPct: 15, Algorithm: sim.AlgMPRInt, Seed: o.seed(),
 			MarketDelaySlots: tc.delay, Predictive: tc.predictive,
 			PredictHorizonSlots: tc.delay + 3,
 		}, key)
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range cases {
+		r := results[i]
 		tbl.AddRow(tc.delay, tc.predictive, r.OverloadSlots, r.EmergencyCount,
 			r.CostCoreH, r.MeanQueueWaitMin)
 	}
@@ -205,8 +238,13 @@ func runAblationVCG(o Options) (*Result, error) {
 	tbl := stats.NewTable("Ablation A6 — MPR market vs VCG auction",
 		"jobs", "market ms", "VCG ms", "market cost", "VCG cost",
 		"market payout", "VCG payments", "pivotal winners")
-	for _, n := range sizes {
-		parts, _ := syntheticPool(n, o.seed())
+	// Prebuild the pools in parallel; the timed sections stay serial.
+	pools, err := buildPools(o, sizes)
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range sizes {
+		parts := pools[pi].parts
 		target := poolTarget(parts)
 
 		t0 := time.Now()

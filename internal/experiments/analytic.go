@@ -5,6 +5,7 @@ import (
 
 	"mpr/internal/core"
 	"mpr/internal/perf"
+	"mpr/internal/runner"
 	"mpr/internal/stats"
 	"mpr/internal/trace"
 )
@@ -38,10 +39,14 @@ func runTable1(o Options) (*Result, error) {
 	tbl := stats.NewTable("Table I — capacity oversubscription in Gaia",
 		"Oversubscription", "Extra Capacity (core-h/month)", "Probability of Overload",
 		"Overload Time (h/month)", "Overloaded Capacity (core-h/month)", "Max Overload Payoff")
-	for _, x := range []float64{10, 15, 20, 25} {
+	oversubs := []float64{10, 15, 20, 25}
+	type t1Row struct {
+		extra, overProb, overHours, overCapacity, payoff float64
+	}
+	rows, err := runner.Map(o.workers(), oversubs, func(_ int, x float64) (t1Row, error) {
 		scaled, err := tr.ScaleUp(1+x/100, o.seed())
 		if err != nil {
-			return nil, err
+			return t1Row{}, err
 		}
 		alloc := trace.AllocationSeries(scaled, 60)
 		overSlots := 0
@@ -52,16 +57,24 @@ func runTable1(o Options) (*Result, error) {
 				overCoreMin += v - capCores
 			}
 		}
-		extra := float64(tr.TotalCores) * x / 100 * 720
-		overProb := float64(overSlots) / float64(alloc.Len())
-		overHours := float64(overSlots) / 60 / months
-		overCapacity := overCoreMin / 60 / months
-		payoff := 0.0
-		if overCapacity > 0 {
-			payoff = extra / overCapacity
+		row := t1Row{
+			extra:        float64(tr.TotalCores) * x / 100 * 720,
+			overProb:     float64(overSlots) / float64(alloc.Len()),
+			overHours:    float64(overSlots) / 60 / months,
+			overCapacity: overCoreMin / 60 / months,
 		}
-		tbl.AddRow(fmt.Sprintf("%.0f%%", x), extra, fmt.Sprintf("%.2f%%", 100*overProb),
-			overHours, overCapacity, fmt.Sprintf("%.0fx", payoff))
+		if row.overCapacity > 0 {
+			row.payoff = row.extra / row.overCapacity
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, x := range oversubs {
+		r := rows[i]
+		tbl.AddRow(fmt.Sprintf("%.0f%%", x), r.extra, fmt.Sprintf("%.2f%%", 100*r.overProb),
+			r.overHours, r.overCapacity, fmt.Sprintf("%.0fx", r.payoff))
 	}
 	return &Result{ID: "t1", Title: "Table I", Tables: []*stats.Table{tbl},
 		Notes: []string{fmt.Sprintf("synthetic Gaia trace: %d jobs over %.0f days, peak %d cores",
@@ -77,16 +90,20 @@ func runFig1b(o Options) (*Result, error) {
 		"Cluster", "p10", "p25", "p50", "p75", "p90", "p95", "p99")
 	order := []string{"gaia", "metacentrum", "ricc", "pik"}
 	presets := trace.Presets(o.seed())
-	for _, name := range order {
-		cfg := presets[name].WithDays(days)
-		tr, err := cachedTrace(cfg)
+	cdfs, err := runner.Map(o.workers(), order, func(_ int, name string) (*stats.CDF, error) {
+		tr, err := cachedTrace(presets[name].WithDays(days))
 		if err != nil {
 			return nil, err
 		}
-		cdf := trace.UtilizationCDF(tr, 300)
+		return trace.UtilizationCDF(tr, 300), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range order {
 		row := []interface{}{name}
 		for _, p := range []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99} {
-			row = append(row, cdf.Quantile(p))
+			row = append(row, cdfs[i].Quantile(p))
 		}
 		tbl.AddRow(row...)
 	}

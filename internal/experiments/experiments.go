@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 
+	"mpr/internal/runner"
 	"mpr/internal/sim"
 	"mpr/internal/stats"
 	"mpr/internal/trace"
@@ -27,6 +28,17 @@ type Options struct {
 	// in seconds-to-minutes instead of tens of minutes. The full-scale
 	// runs reproduce the paper's setup (90-day Gaia horizon etc.).
 	Quick bool
+	// Parallel bounds the worker pool that executes a sweep's
+	// independent simulation cells: 0 uses GOMAXPROCS, 1 forces serial
+	// execution, n > 1 runs up to n cells concurrently. Parallel and
+	// serial sweeps emit bit-identical tables (DESIGN.md §9); timing
+	// experiments (f10, a1, a6) always run their *timed* sections
+	// serially so co-scheduled cells cannot distort the measurements.
+	Parallel int
+	// Days overrides every trace-driven experiment's horizon in days
+	// (0 keeps the per-experiment default). Benchmarks and tests use it
+	// to shrink the matrix without touching the experiment logic.
+	Days int
 }
 
 func (o Options) seed() int64 {
@@ -36,8 +48,19 @@ func (o Options) seed() int64 {
 	return o.Seed
 }
 
+// workers returns the sweep worker-pool bound for the options.
+func (o Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runner.DefaultWorkers()
+}
+
 // gaiaDays returns the simulated horizon for Gaia-based experiments.
 func (o Options) gaiaDays() int {
+	if o.Days > 0 {
+		return o.Days
+	}
 	if o.Quick {
 		return 14
 	}
@@ -48,6 +71,9 @@ func (o Options) gaiaDays() int {
 // These clusters are large (RICC peaks above 20,000 cores), so their
 // horizons are shorter than Gaia's.
 func (o Options) otherTraceDays() int {
+	if o.Days > 0 {
+		return o.Days
+	}
 	if o.Quick {
 		return 6
 	}
@@ -99,86 +125,112 @@ func ByID(id string) (Experiment, error) {
 
 // --- shared trace and simulation caches -------------------------------
 
+// cacheEntry is one singleflight slot: the first caller to claim the key
+// runs the generator inside the entry's once; every concurrent caller
+// for the same key blocks on that once and then reads the shared result.
+// The cache mutex is never held while generating, so unrelated keys
+// build concurrently and nested lookups (a simulation cell fetching its
+// trace) cannot deadlock.
+type cacheEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
 var (
 	cacheMu    sync.Mutex
-	traceCache = map[string]*trace.Trace{}
-	simCache   = map[string]*sim.Result{}
+	traceCache = map[string]*cacheEntry[*trace.Trace]{}
+	simCache   = map[string]*cacheEntry[*sim.Result]{}
 )
+
+// singleflight returns the cached value for key, running gen exactly
+// once per key no matter how many sweep cells ask concurrently.
+func singleflight[V any](m map[string]*cacheEntry[V], key string, gen func() (V, error)) (V, error) {
+	cacheMu.Lock()
+	e, ok := m[key]
+	if !ok {
+		e = &cacheEntry[V]{}
+		m[key] = e
+	}
+	cacheMu.Unlock()
+	e.once.Do(func() { e.val, e.err = gen() })
+	return e.val, e.err
+}
 
 // gaiaTrace builds (and caches) the Gaia workload for the options.
 func gaiaTrace(o Options) (*trace.Trace, error) {
 	return cachedTrace(trace.GaiaConfig(o.seed()).WithDays(o.gaiaDays()))
 }
 
+// cachedTrace generates (and caches) a workload trace. Concurrent cells
+// requesting the same trace generate it exactly once; the returned trace
+// is shared across cells and must be treated as immutable.
 func cachedTrace(cfg trace.GenConfig) (*trace.Trace, error) {
 	key := fmt.Sprintf("%s/%d/%d/%d", cfg.Name, cfg.Seed, cfg.Days, cfg.JobCount)
-	cacheMu.Lock()
-	tr, ok := traceCache[key]
-	cacheMu.Unlock()
-	if ok {
-		return tr, nil
-	}
-	tr, err := trace.Generate(cfg)
-	if err != nil {
-		return nil, err
-	}
-	cacheMu.Lock()
-	traceCache[key] = tr
-	cacheMu.Unlock()
-	return tr, nil
+	return singleflight(traceCache, key, func() (*trace.Trace, error) {
+		return trace.Generate(cfg)
+	})
 }
 
 // cachedRun executes (and caches) a simulation; figures 8, 9, and 11
-// share the same sweep.
+// share the same sweep. Concurrent cells with the same key run the
+// simulation exactly once.
 func cachedRun(cfg sim.Config, key string) (*sim.Result, error) {
-	cacheMu.Lock()
-	res, ok := simCache[key]
-	cacheMu.Unlock()
-	if ok {
-		return res, nil
-	}
-	res, err := sim.Run(cfg)
-	if err != nil {
-		return nil, err
-	}
-	cacheMu.Lock()
-	simCache[key] = res
-	cacheMu.Unlock()
-	return res, nil
+	return singleflight(simCache, key, func() (*sim.Result, error) {
+		return sim.Run(cfg)
+	})
 }
 
 // ResetCaches clears the shared caches (used by benchmarks that want cold
 // runs).
 func ResetCaches() {
 	cacheMu.Lock()
-	traceCache = map[string]*trace.Trace{}
-	simCache = map[string]*sim.Result{}
+	traceCache = map[string]*cacheEntry[*trace.Trace]{}
+	simCache = map[string]*cacheEntry[*sim.Result]{}
 	cacheMu.Unlock()
 }
 
+// simCell is one (oversubscription, algorithm) point of a Gaia sweep.
+type simCell struct {
+	x    float64
+	algo sim.Algorithm
+}
+
 // gaiaSweep runs (cached) Gaia simulations for the given oversubscription
-// levels and algorithms.
+// levels and algorithms, fanning the matrix across the options' worker
+// pool. Results are keyed by cell coordinates, so the assembled map — and
+// every table rendered from it — is identical at any worker count.
 func gaiaSweep(o Options, oversubs []float64, algos []sim.Algorithm) (map[float64]map[sim.Algorithm]*sim.Result, error) {
 	tr, err := gaiaTrace(o)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[float64]map[sim.Algorithm]*sim.Result)
+	cells := make([]simCell, 0, len(oversubs)*len(algos))
 	for _, x := range oversubs {
-		out[x] = make(map[sim.Algorithm]*sim.Result)
 		for _, algo := range algos {
-			key := fmt.Sprintf("gaia/%d/%d/%.1f/%s", o.seed(), o.gaiaDays(), x, algo)
-			res, err := cachedRun(sim.Config{
-				Trace:      tr,
-				OversubPct: x,
-				Algorithm:  algo,
-				Seed:       o.seed(),
-			}, key)
-			if err != nil {
-				return nil, err
-			}
-			out[x][algo] = res
+			cells = append(cells, simCell{x, algo})
 		}
+	}
+	results, err := runner.Map(o.workers(), cells, func(_ int, c simCell) (*sim.Result, error) {
+		key := fmt.Sprintf("gaia/%d/%d/%.1f/%s", o.seed(), o.gaiaDays(), c.x, c.algo)
+		return cachedRun(sim.Config{
+			Trace:      tr,
+			OversubPct: c.x,
+			Algorithm:  c.algo,
+			Seed:       o.seed(),
+		}, key)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[float64]map[sim.Algorithm]*sim.Result)
+	for i, c := range cells {
+		m := out[c.x]
+		if m == nil {
+			m = make(map[sim.Algorithm]*sim.Result)
+			out[c.x] = m
+		}
+		m[c.algo] = results[i]
 	}
 	return out, nil
 }

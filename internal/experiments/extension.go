@@ -6,6 +6,7 @@ import (
 	"mpr/internal/carbon"
 	"mpr/internal/core"
 	"mpr/internal/power"
+	"mpr/internal/runner"
 	"mpr/internal/sim"
 	"mpr/internal/stats"
 	"mpr/internal/trace"
@@ -32,11 +33,15 @@ func runCarbonDR(o Options) (*Result, error) {
 	tbl := stats.NewTable("Extension X1 — carbon-aware demand response on a Gaia-like workload",
 		"threshold (gCO2/kWh)", "DR events", "DR minutes", "energy saved (kWh)",
 		"CO2 saved (kg)", "CO2 saved %", "user cost (core-h)", "reward %")
-	for _, th := range []float64{0, 380, 430, 480} {
-		r, err := carbon.Run(carbon.Config{Trace: tr, Seed: o.seed(), ThresholdG: th})
-		if err != nil {
-			return nil, err
-		}
+	thresholds := []float64{0, 380, 430, 480}
+	results, err := runner.Map(o.workers(), thresholds, func(_ int, th float64) (*carbon.Result, error) {
+		return carbon.Run(carbon.Config{Trace: tr, Seed: o.seed(), ThresholdG: th})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, th := range thresholds {
+		r := results[i]
 		label := fmt.Sprintf("%.0f", r.ThresholdG)
 		if th == 0 {
 			label = fmt.Sprintf("auto (%.0f)", r.ThresholdG)
@@ -70,7 +75,13 @@ func runCollusion(o Options) (*Result, error) {
 	tbl := stats.NewTable("Study X2 — bid collusion (coalition inflates b by 3x)",
 		"coalition share", "clearing price", "price increase", "coalition payoff change",
 		"outsider payoff change", "manager payout increase")
-	for _, share := range []float64{0, 0.05, 0.10, 0.25, 0.50} {
+	shares := []float64{0, 0.05, 0.10, 0.25, 0.50}
+	type x2Row struct {
+		res                *core.ClearingResult
+		coalChange, outChg string
+	}
+	rows, err := runner.Map(o.workers(), shares, func(_ int, share float64) (x2Row, error) {
+		// Each cell builds its own pool: bids are mutated per coalition.
 		k := int(share * n)
 		colluding, _ := syntheticPool(n, o.seed())
 		for i := 0; i < k; i++ {
@@ -78,7 +89,7 @@ func runCollusion(o Options) (*Result, error) {
 		}
 		res, err := core.Clear(colluding, target)
 		if err != nil {
-			return nil, err
+			return x2Row{}, err
 		}
 		var coalHonest, coalNow, outHonest, outNow float64
 		for i := range colluding {
@@ -91,17 +102,23 @@ func runCollusion(o Options) (*Result, error) {
 				outNow += pay
 			}
 		}
-		coalChange := "n/a"
+		row := x2Row{res: res, coalChange: "n/a", outChg: "n/a"}
 		if coalHonest > 0 {
-			coalChange = fmt.Sprintf("%+.1f%%", 100*(coalNow-coalHonest)/coalHonest)
+			row.coalChange = fmt.Sprintf("%+.1f%%", 100*(coalNow-coalHonest)/coalHonest)
 		}
-		outChange := "n/a"
 		if outHonest > 0 {
-			outChange = fmt.Sprintf("%+.1f%%", 100*(outNow-outHonest)/outHonest)
+			row.outChg = fmt.Sprintf("%+.1f%%", 100*(outNow-outHonest)/outHonest)
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, share := range shares {
+		res := rows[i].res
 		tbl.AddRow(fmt.Sprintf("%.0f%%", 100*share), res.Price,
 			fmt.Sprintf("%+.1f%%", 100*(res.Price-honest.Price)/honest.Price),
-			coalChange, outChange,
+			rows[i].coalChange, rows[i].outChg,
 			fmt.Sprintf("%+.1f%%", 100*(res.PayoutRate-honest.PayoutRate)/honest.PayoutRate))
 	}
 	return &Result{ID: "x2", Title: "Study X2", Tables: []*stats.Table{tbl},
@@ -194,7 +211,7 @@ func runPowerAttack(o Options) (*Result, error) {
 
 	tbl := stats.NewTable("Study X3 — power attacks during market invocation",
 		"scenario", "overload minutes", "direct caps", "market payout rate")
-	for _, tc := range []struct {
+	scenarios := []struct {
 		name      string
 		attackers int
 		defense   bool
@@ -202,9 +219,22 @@ func runPowerAttack(o Options) (*Result, error) {
 		{"no attack", 0, false},
 		{"attack, no defense", 15, false},
 		{"attack + direct capping", 15, true},
-	} {
-		over, caps, payout := run(tc.attackers, tc.defense)
-		tbl.AddRow(tc.name, over, caps, payout)
+	}
+	type x3Row struct {
+		over, caps int
+		payout     float64
+	}
+	// Each scenario keeps its own controller and allocation state; the
+	// shared pool is only read (core.Clear copies into its own index).
+	rows, err := runner.MapN(o.workers(), len(scenarios), func(i int) (x3Row, error) {
+		over, caps, payout := run(scenarios[i].attackers, scenarios[i].defense)
+		return x3Row{over, caps, payout}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tc := range scenarios {
+		tbl.AddRow(tc.name, rows[i].over, rows[i].caps, rows[i].payout)
 	}
 	return &Result{ID: "x3", Title: "Study X3", Tables: []*stats.Table{tbl},
 		Notes: []string{"the attacker prolongs the overload until the manager bypasses MPR and caps power directly — the mitigation the paper prescribes"}}, nil
@@ -242,27 +272,39 @@ func runPartitioned(o Options) (*Result, error) {
 	tbl := stats.NewTable("Study X4 — unified vs partitioned power infrastructure (MPR-STAT)",
 		"oversub", "unified overload min", "partitioned overload min",
 		"unified cost (core-h)", "partitioned cost (core-h)")
-	for _, x := range []float64{10, 15, 20} {
+	// Two-stage matrix: the partitioned cells need each unified run's
+	// CapacityW, so the unified sweep completes first, then the 2·len
+	// domain cells fan out.
+	oversubs := []float64{10, 15, 20}
+	unis, err := runner.Map(o.workers(), oversubs, func(_ int, x float64) (*sim.Result, error) {
 		uniKey := fmt.Sprintf("gaia/%d/%d/%.1f/%s", o.seed(), o.gaiaDays(), x, sim.AlgMPRStat)
-		uni, err := cachedRun(sim.Config{
+		return cachedRun(sim.Config{
 			Trace: tr, OversubPct: x, Algorithm: sim.AlgMPRStat, Seed: o.seed(),
 		}, uniKey)
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	doms := []*trace.Trace{domA, domB}
+	domRes, err := runner.MapN(o.workers(), len(oversubs)*len(doms), func(i int) (*sim.Result, error) {
+		x, d := oversubs[i/len(doms)], i%len(doms)
+		key := fmt.Sprintf("x4/%d/%d/%.1f/dom%d", o.seed(), o.gaiaDays(), x, d)
+		// Each domain gets half of the unified oversubscribed
+		// capacity — the same infrastructure, split in two.
+		return cachedRun(sim.Config{
+			Trace: doms[d], OversubPct: x, Algorithm: sim.AlgMPRStat, Seed: o.seed(),
+			CapacityOverrideW: unis[i/len(doms)].CapacityW / 2,
+		}, key)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for xi, x := range oversubs {
+		uni := unis[xi]
 		var partOver int
 		var partCost float64
-		for d, dom := range []*trace.Trace{domA, domB} {
-			key := fmt.Sprintf("x4/%d/%d/%.1f/dom%d", o.seed(), o.gaiaDays(), x, d)
-			// Each domain gets half of the unified oversubscribed
-			// capacity — the same infrastructure, split in two.
-			r, err := cachedRun(sim.Config{
-				Trace: dom, OversubPct: x, Algorithm: sim.AlgMPRStat, Seed: o.seed(),
-				CapacityOverrideW: uni.CapacityW / 2,
-			}, key)
-			if err != nil {
-				return nil, err
-			}
+		for d := range doms {
+			r := domRes[xi*len(doms)+d]
 			partOver += r.OverloadSlots
 			partCost += r.CostCoreH
 		}

@@ -7,6 +7,7 @@ import (
 
 	"mpr/internal/core"
 	"mpr/internal/perf"
+	"mpr/internal/runner"
 	"mpr/internal/stats"
 	"mpr/internal/telemetry"
 )
@@ -42,6 +43,23 @@ func syntheticPool(n int, seed int64) ([]*core.Participant, []core.Bidder) {
 	return parts, bidders
 }
 
+// pool is one prebuilt synthetic participant pool of a timing study.
+type pool struct {
+	parts   []*core.Participant
+	bidders []core.Bidder
+}
+
+// buildPools constructs the synthetic pools for the given sizes on the
+// options' worker pool. Timing experiments (f10, a1, a6) prebuild their
+// pools here so only the *untimed* construction parallelizes; the timed
+// solver sections stay serial (DESIGN.md §9).
+func buildPools(o Options, sizes []int) ([]pool, error) {
+	return runner.Map(o.workers(), sizes, func(_ int, n int) (pool, error) {
+		parts, bidders := syntheticPool(n, o.seed())
+		return pool{parts, bidders}, nil
+	})
+}
+
 func poolTarget(parts []*core.Participant) float64 {
 	var maxW float64
 	for _, p := range parts {
@@ -72,8 +90,13 @@ func runFig10(o Options) (*Result, error) {
 	tracer := telemetry.NewTracer(256)
 	largest := sizes[len(sizes)-1]
 
-	for _, n := range sizes {
-		parts, bidders := syntheticPool(n, o.seed())
+	// Pool construction fans out; the timed sections below stay serial.
+	pools, err := buildPools(o, sizes)
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range sizes {
+		parts, bidders := pools[pi].parts, pools[pi].bidders
 		target := poolTarget(parts)
 
 		t0 := time.Now()

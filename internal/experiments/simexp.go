@@ -6,6 +6,7 @@ import (
 
 	"mpr/internal/perf"
 	"mpr/internal/power"
+	"mpr/internal/runner"
 	"mpr/internal/sim"
 	"mpr/internal/stats"
 	"mpr/internal/trace"
@@ -130,25 +131,34 @@ func runFig12(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	participations := []float64{1.0, 0.9, 0.75, 0.5}
+	algos := []sim.Algorithm{sim.AlgMPRStat, sim.AlgMPRInt}
+	type cell struct {
+		p    float64
+		algo sim.Algorithm
+	}
+	var cells []cell
+	for _, p := range participations {
+		for _, algo := range algos {
+			cells = append(cells, cell{p, algo})
+		}
+	}
+	results, err := runner.Map(o.workers(), cells, func(_ int, c cell) (*sim.Result, error) {
+		key := fmt.Sprintf("f12/%d/%d/%s/%.2f", o.seed(), o.gaiaDays(), c.algo, c.p)
+		return cachedRun(sim.Config{
+			Trace: tr, OversubPct: 15, Algorithm: c.algo,
+			Seed: o.seed(), Participation: c.p,
+		}, key)
+	})
+	if err != nil {
+		return nil, err
+	}
 	tbl := stats.NewTable("Fig. 12 — user participation at 15% oversubscription",
 		"participation", "cost STAT", "cost INT", "payoff STAT", "payoff INT")
-	for _, p := range []float64{1.0, 0.9, 0.75, 0.5} {
-		row := []interface{}{fmt.Sprintf("%.0f%%", 100*p)}
-		var costs, pays []float64
-		for _, algo := range []sim.Algorithm{sim.AlgMPRStat, sim.AlgMPRInt} {
-			key := fmt.Sprintf("f12/%d/%d/%s/%.2f", o.seed(), o.gaiaDays(), algo, p)
-			r, err := cachedRun(sim.Config{
-				Trace: tr, OversubPct: 15, Algorithm: algo,
-				Seed: o.seed(), Participation: p,
-			}, key)
-			if err != nil {
-				return nil, err
-			}
-			costs = append(costs, r.CostCoreH)
-			pays = append(pays, r.PaymentCoreH)
-		}
-		row = append(row, costs[0], costs[1], pays[0], pays[1])
-		tbl.AddRow(row...)
+	for i, p := range participations {
+		st, in := results[2*i], results[2*i+1]
+		tbl.AddRow(fmt.Sprintf("%.0f%%", 100*p),
+			st.CostCoreH, in.CostCoreH, st.PaymentCoreH, in.PaymentCoreH)
 	}
 	return &Result{ID: "f12", Title: "Fig. 12", Tables: []*stats.Table{tbl}}, nil
 }
@@ -162,34 +172,37 @@ func runFig13(o Options) (*Result, error) {
 		"error", "cost STAT", "cost INT", "reward% STAT", "reward% INT")
 	underTbl := stats.NewTable("Fig. 13(b) — systematic cost underestimation at 15%",
 		"underestimation", "cost STAT", "cost INT", "reward% STAT", "reward% INT")
-	run := func(randErr, under float64, algo sim.Algorithm) (*sim.Result, error) {
-		key := fmt.Sprintf("f13/%d/%d/%s/%.2f/%.2f", o.seed(), o.gaiaDays(), algo, randErr, under)
-		return cachedRun(sim.Config{
-			Trace: tr, OversubPct: 15, Algorithm: algo, Seed: o.seed(),
-			CostErrorRand: randErr, CostErrorUnder: under,
-		}, key)
+	randErrs := []float64{0, 0.10, 0.20, 0.30}
+	unders := []float64{0.10, 0.20, 0.30}
+	type cell struct {
+		randErr, under float64
+		algo           sim.Algorithm
 	}
-	for _, e := range []float64{0, 0.10, 0.20, 0.30} {
-		st, err := run(e, 0, sim.AlgMPRStat)
-		if err != nil {
-			return nil, err
-		}
-		in, err := run(e, 0, sim.AlgMPRInt)
-		if err != nil {
-			return nil, err
-		}
+	var cells []cell
+	for _, e := range randErrs {
+		cells = append(cells, cell{e, 0, sim.AlgMPRStat}, cell{e, 0, sim.AlgMPRInt})
+	}
+	for _, u := range unders {
+		cells = append(cells, cell{0, u, sim.AlgMPRStat}, cell{0, u, sim.AlgMPRInt})
+	}
+	results, err := runner.Map(o.workers(), cells, func(_ int, c cell) (*sim.Result, error) {
+		key := fmt.Sprintf("f13/%d/%d/%s/%.2f/%.2f", o.seed(), o.gaiaDays(), c.algo, c.randErr, c.under)
+		return cachedRun(sim.Config{
+			Trace: tr, OversubPct: 15, Algorithm: c.algo, Seed: o.seed(),
+			CostErrorRand: c.randErr, CostErrorUnder: c.under,
+		}, key)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range randErrs {
+		st, in := results[2*i], results[2*i+1]
 		randTbl.AddRow(fmt.Sprintf("%.0f%%", 100*e), st.CostCoreH, in.CostCoreH,
 			fmt.Sprintf("%.0f%%", st.RewardPercent()), fmt.Sprintf("%.0f%%", in.RewardPercent()))
 	}
-	for _, u := range []float64{0.10, 0.20, 0.30} {
-		st, err := run(0, u, sim.AlgMPRStat)
-		if err != nil {
-			return nil, err
-		}
-		in, err := run(0, u, sim.AlgMPRInt)
-		if err != nil {
-			return nil, err
-		}
+	base := 2 * len(randErrs)
+	for i, u := range unders {
+		st, in := results[base+2*i], results[base+2*i+1]
 		underTbl.AddRow(fmt.Sprintf("%.0f%%", 100*u), st.CostCoreH, in.CostCoreH,
 			fmt.Sprintf("%.0f%%", st.RewardPercent()), fmt.Sprintf("%.0f%%", in.RewardPercent()))
 	}
@@ -198,26 +211,48 @@ func runFig13(o Options) (*Result, error) {
 
 func runFig14(o Options) (*Result, error) {
 	presets := trace.Presets(o.seed())
-	var tables []*stats.Table
-	for _, name := range []string{"pik", "ricc", "metacentrum"} {
-		cfg := presets[name].WithDays(o.otherTraceDays())
+	names := []string{"pik", "ricc", "metacentrum"}
+	algos := sim.Algorithms()
+	type cell struct {
+		name string
+		x    float64
+		algo sim.Algorithm
+	}
+	var cells []cell
+	for _, name := range names {
+		for _, x := range paperOversubs {
+			for _, algo := range algos {
+				cells = append(cells, cell{name, x, algo})
+			}
+		}
+	}
+	// Each cell fetches its workload through the singleflight trace
+	// cache, so the three traces are generated exactly once each even
+	// though 16 concurrent cells ask for every one of them.
+	results, err := runner.Map(o.workers(), cells, func(_ int, c cell) (*sim.Result, error) {
+		cfg := presets[c.name].WithDays(o.otherTraceDays())
 		tr, err := cachedTrace(cfg)
 		if err != nil {
 			return nil, err
 		}
+		key := fmt.Sprintf("f14/%s/%d/%d/%.1f/%s", c.name, o.seed(), cfg.Days, c.x, c.algo)
+		return cachedRun(sim.Config{
+			Trace: tr, OversubPct: c.x, Algorithm: c.algo, Seed: o.seed(),
+		}, key)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tables []*stats.Table
+	i := 0
+	for _, name := range names {
 		tbl := stats.NewTable(fmt.Sprintf("Fig. 14 — cost of performance loss on %s (core-hours)", name),
 			"oversub", "OPT", "EQL", "MPR-STAT", "MPR-INT")
 		for _, x := range paperOversubs {
 			row := []interface{}{fmt.Sprintf("%.0f%%", x)}
-			for _, algo := range sim.Algorithms() {
-				key := fmt.Sprintf("f14/%s/%d/%d/%.1f/%s", name, o.seed(), cfg.Days, x, algo)
-				r, err := cachedRun(sim.Config{
-					Trace: tr, OversubPct: x, Algorithm: algo, Seed: o.seed(),
-				}, key)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, r.CostCoreH)
+			for range algos {
+				row = append(row, results[i].CostCoreH)
+				i++
 			}
 			tbl.AddRow(row...)
 		}
@@ -242,6 +277,20 @@ func runFig15(o Options) (*Result, error) {
 			Trace: tr, OversubPct: x, Algorithm: algo, Seed: o.seed(),
 			Profiles: profiles, CoreModel: power.DefaultGPUCoreModel, AppPower: appPower,
 		}, key)
+	}
+
+	// Fill the whole (oversub × algorithm) matrix in parallel first; the
+	// table assembly below then reads pure cache hits in its own order.
+	var cells []simCell
+	for _, x := range paperOversubs {
+		for _, algo := range sim.Algorithms() {
+			cells = append(cells, simCell{x, algo})
+		}
+	}
+	if _, err := runner.Map(o.workers(), cells, func(_ int, c simCell) (*sim.Result, error) {
+		return run(c.x, c.algo)
+	}); err != nil {
+		return nil, err
 	}
 
 	cost := stats.NewTable("Fig. 15(b) — GPU system cost of performance loss (core-hours)",

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"mpr/internal/core"
+	"mpr/internal/runner"
 	"mpr/internal/sim"
 	"mpr/internal/stats"
 	"mpr/internal/tco"
@@ -94,15 +95,22 @@ func runPriorityBaseline(o Options) (*Result, error) {
 	for _, p := range parts {
 		maxW += p.WattsPerCore * p.MaxFrac * p.Cores
 	}
-	for _, frac := range []float64{0.2, 0.4, 0.6} {
+	// The priority arrays are computed once above and only read by the
+	// cells; every solver builds its own working state from the shared
+	// (read-only) pool.
+	fracs := []float64{0.2, 0.4, 0.6}
+	type x6Row struct {
+		target, opt, market, pa, pr, eql float64
+	}
+	rows, err := runner.Map(o.workers(), fracs, func(_ int, frac float64) (x6Row, error) {
 		target := frac * maxW
 		opt, err := core.SolveOPT(parts, target, core.OPTDual)
 		if err != nil {
-			return nil, err
+			return x6Row{}, err
 		}
 		market, err := core.Clear(parts, target)
 		if err != nil {
-			return nil, err
+			return x6Row{}, err
 		}
 		var marketCost float64
 		for i, p := range parts {
@@ -110,17 +118,23 @@ func runPriorityBaseline(o Options) (*Result, error) {
 		}
 		pa, err := core.SolvePriority(parts, aligned, target)
 		if err != nil {
-			return nil, err
+			return x6Row{}, err
 		}
 		pr, err := core.SolvePriority(parts, random, target)
 		if err != nil {
-			return nil, err
+			return x6Row{}, err
 		}
 		eql, err := core.SolveEQL(parts, target)
 		if err != nil {
-			return nil, err
+			return x6Row{}, err
 		}
-		tbl.AddRow(target/1000, opt.TotalCost, marketCost, pa.TotalCost, pr.TotalCost, eql.TotalCost)
+		return x6Row{target, opt.TotalCost, marketCost, pa.TotalCost, pr.TotalCost, eql.TotalCost}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.target/1000, r.opt, r.market, r.pa, r.pr, r.eql)
 	}
 	return &Result{ID: "x6", Title: "Study X6", Tables: []*stats.Table{tbl},
 		Notes: []string{"priority capping needs the operator to know which jobs are cheap to slow; the market learns it from the bids"}}, nil
@@ -138,15 +152,19 @@ func runPhases(o Options) (*Result, error) {
 	tbl := stats.NewTable("Study X7 — job power phases vs reactive handling (MPR-STAT at 15%)",
 		"phase amplitude", "emergencies", "market invocations (incl. raises)",
 		"overload minutes", "cost (core-h)")
-	for _, amp := range []float64{0, 0.05, 0.10, 0.20} {
+	amps := []float64{0, 0.05, 0.10, 0.20}
+	results, err := runner.Map(o.workers(), amps, func(_ int, amp float64) (*sim.Result, error) {
 		key := fmt.Sprintf("x7/%d/%d/%.2f", o.seed(), o.gaiaDays(), amp)
-		r, err := cachedRun(sim.Config{
+		return cachedRun(sim.Config{
 			Trace: tr, OversubPct: 15, Algorithm: sim.AlgMPRStat, Seed: o.seed(),
 			PhaseAmp: amp,
 		}, key)
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, amp := range amps {
+		r := results[i]
 		tbl.AddRow(fmt.Sprintf("%.0f%%", 100*amp), r.EmergencyCount,
 			r.MarketInvocations, r.OverloadSlots, r.CostCoreH)
 	}

@@ -1,0 +1,151 @@
+// Package runner is the deterministic parallel executor for the
+// experiment run-matrix: it fans independent simulation cells — one
+// (trace, oversubscription, algorithm, seed, config-variant) point of a
+// sweep — across a bounded worker pool while guaranteeing that the
+// *outputs* are indistinguishable from a serial run.
+//
+// The determinism contract (DESIGN.md §9):
+//
+//  1. Position-addressed results. Map/MapN write cell i's result into
+//     slot i of the output slice, no matter which worker ran the cell or
+//     in which order cells finished. A caller that assembles its tables
+//     by iterating the output slice in index order therefore renders
+//     byte-for-byte the same tables at any worker count.
+//  2. Key-derived randomness. A cell that needs its own RNG stream
+//     derives the seed from a stable identity — its matrix coordinates
+//     (the experiments' cache keys) or CellSeed over a key string —
+//     never from submission order, worker identity, or shared RNG state.
+//  3. Deterministic error selection. When cells fail, the error of the
+//     failing cell with the lowest index is returned, so a parallel run
+//     reports the same failure a serial run would have stopped at
+//     whenever that cell executed. The first observed failure cancels
+//     all still-queued cells; cells already in flight run to completion
+//     (a cell function cannot be interrupted), and none of their results
+//     are returned.
+//
+// The pool is bounded by the workers argument (0 picks DefaultWorkers,
+// i.e. GOMAXPROCS) and dispatches cells by an atomic cursor, so there is
+// no per-cell channel traffic and no goroutine can deadlock waiting for
+// a peer: workers only ever claim indices, run the cell function, and
+// exit when the cursor runs past the end or a failure is flagged.
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default worker-pool bound: GOMAXPROCS at
+// the time of the call (never less than 1).
+func DefaultWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// CellSeed derives a stable RNG seed for a cell from a base seed and the
+// cell's key string. The derivation hashes only the key (FNV-1a) and
+// mixes the base seed in afterwards, so the stream a cell sees depends
+// on *what* the cell is, never on when or where it ran. The result is
+// never zero, so callers that treat zero as "use the default seed" can
+// pass the value through unchecked.
+func CellSeed(base int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	// splitmix-style odd multiplier decorrelates nearby base seeds.
+	s := int64(h.Sum64()) ^ (base * -0x61c8864680b583eb)
+	if s == 0 {
+		return -1
+	}
+	return s
+}
+
+// Map applies fn to every item, running up to workers cells concurrently,
+// and returns the results position-addressed: out[i] = fn(i, items[i]).
+// workers ≤ 1 runs the cells serially on the calling goroutine; 0 uses
+// DefaultWorkers. On failure the returned slice is nil and the error is
+// the lowest-index failure among the cells that executed, wrapped with
+// its cell index.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	return MapN(workers, len(items), func(i int) (R, error) {
+		return fn(i, items[i])
+	})
+}
+
+// MapN is Map over the index range [0, n): out[i] = fn(i). It is the
+// core of the executor; Map delegates to it.
+func MapN[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) {
+	out := make([]R, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return nil, &CellError{Index: i, Err: err}
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	var (
+		cursor atomic.Int64 // next cell index to claim
+		failed atomic.Bool  // set on first failure; stops new claims
+		mu     sync.Mutex   // guards firstIdx/firstErr
+		wg     sync.WaitGroup
+	)
+	firstIdx := n
+	var firstErr error
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := fn(i)
+				if err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, &CellError{Index: firstIdx, Err: firstErr}
+	}
+	return out, nil
+}
+
+// CellError wraps a cell failure with the index of the cell that raised
+// it — the reproduction handle for a failing matrix point.
+type CellError struct {
+	Index int
+	Err   error
+}
+
+func (e *CellError) Error() string { return fmt.Sprintf("runner: cell %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the cell's own error to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }

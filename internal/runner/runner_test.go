@@ -1,0 +1,199 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapPlacement: results land in position-addressed slots at every
+// worker count, so a sweep assembled in index order is identical no
+// matter how the cells were scheduled.
+func TestMapPlacement(t *testing.T) {
+	items := make([]int, 257)
+	for i := range items {
+		items[i] = i
+	}
+	var want []string
+	for i := range items {
+		want = append(want, fmt.Sprintf("cell-%d-%d", i, i*i))
+	}
+	for _, workers := range []int{0, 1, 2, 4, 16, 64, 1000} {
+		got, err := Map(workers, items, func(i, item int) (string, error) {
+			return fmt.Sprintf("cell-%d-%d", i, item*item), nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %q, want %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMapNBitIdentity: a float reduction folded from MapN slots in index
+// order is bit-identical across worker counts (the contract the
+// experiment tables and DiffStats aggregation rely on).
+func TestMapNBitIdentity(t *testing.T) {
+	const n = 1024
+	fold := func(workers int) float64 {
+		vals, err := MapN(workers, n, func(i int) (float64, error) {
+			rng := rand.New(rand.NewSource(CellSeed(7, fmt.Sprintf("cell/%d", i))))
+			return rng.Float64() * float64(i+1), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		return sum
+	}
+	serial := fold(1)
+	for _, workers := range []int{2, 4, 16} {
+		if got := fold(workers); got != serial {
+			t.Fatalf("workers=%d: fold %v differs from serial %v", workers, got, serial)
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	out, err := Map(8, nil, func(i int, s struct{}) (int, error) { return 1, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty: %v, %v", out, err)
+	}
+	out, err = Map(8, []struct{}{{}}, func(i int, s struct{}) (int, error) { return 42, nil })
+	if err != nil || len(out) != 1 || out[0] != 42 {
+		t.Fatalf("single: %v, %v", out, err)
+	}
+}
+
+// TestMapErrorLowestIndex: when several cells fail, the reported failure
+// is the lowest-index one among those that ran — with every cell
+// failing, that is cell 0 at any worker count, and the cell's own error
+// stays reachable through errors.Is/As.
+func TestMapErrorLowestIndex(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 2, 4, 16} {
+		_, err := MapN(workers, 64, func(i int) (int, error) {
+			return 0, fmt.Errorf("cell %d: %w", i, sentinel)
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		var ce *CellError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: error %v is not a CellError", workers, err)
+		}
+		if ce.Index != 0 {
+			t.Fatalf("workers=%d: failing cell %d, want 0", workers, ce.Index)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: sentinel not wrapped: %v", workers, err)
+		}
+	}
+}
+
+// TestMapCancellation: the first failure cancels the still-queued cells.
+// The failing cell returns instantly while every other cell sleeps, so
+// only the cells already in flight at failure time can complete; the
+// rest of the matrix must never run.
+func TestMapCancellation(t *testing.T) {
+	const n, workers = 64, 4
+	var executed atomic.Int64
+	_, err := MapN(workers, n, func(i int) (int, error) {
+		executed.Add(1)
+		if i == 0 {
+			return 0, errors.New("fail fast")
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := executed.Load(); got >= n/2 {
+		t.Fatalf("%d of %d cells executed after cancellation — queue not cancelled", got, n)
+	}
+}
+
+// TestMapStress: error injection under load — many rounds of a matrix
+// with randomly failing cells, shared-state writes from every cell, and
+// full worker fan-out. Run with -race this doubles as the data-race
+// check; the property asserted here is that the pool always returns
+// (no deadlock) and reports a genuinely failing index.
+func TestMapStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var total atomic.Int64
+	for round := 0; round < 200; round++ {
+		n := 1 + rng.Intn(100)
+		failEvery := 1 + rng.Intn(10)
+		workers := 1 + rng.Intn(8)
+		out, err := MapN(workers, n, func(i int) (int, error) {
+			total.Add(1)
+			if (i+1)%failEvery == 0 {
+				return 0, fmt.Errorf("injected at %d", i)
+			}
+			return i * 2, nil
+		})
+		anyFail := n >= failEvery
+		if anyFail {
+			if err == nil {
+				t.Fatalf("round %d: injected failures but err == nil", round)
+			}
+			var ce *CellError
+			if !errors.As(err, &ce) || (ce.Index+1)%failEvery != 0 {
+				t.Fatalf("round %d: reported cell %v was not a failing cell", round, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("round %d: unexpected error %v", round, err)
+		}
+		for i, v := range out {
+			if v != i*2 {
+				t.Fatalf("round %d: slot %d = %d", round, i, v)
+			}
+		}
+	}
+	if total.Load() == 0 {
+		t.Fatal("stress executed no cells")
+	}
+}
+
+// TestCellSeed: stable across calls, key-sensitive, base-sensitive,
+// never zero.
+func TestCellSeed(t *testing.T) {
+	if CellSeed(1, "gaia/15/MPR-STAT") != CellSeed(1, "gaia/15/MPR-STAT") {
+		t.Fatal("CellSeed not stable")
+	}
+	if CellSeed(1, "a") == CellSeed(1, "b") {
+		t.Fatal("CellSeed ignores key")
+	}
+	if CellSeed(1, "a") == CellSeed(2, "a") {
+		t.Fatal("CellSeed ignores base")
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := CellSeed(7, fmt.Sprintf("cell/%d", i))
+		if s == 0 {
+			t.Fatal("CellSeed produced 0")
+		}
+		if seen[s] {
+			t.Fatalf("CellSeed collision at %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers below 1")
+	}
+}

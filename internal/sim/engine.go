@@ -29,6 +29,16 @@ type simJob struct {
 	staticBid    core.Bid
 	participates bool
 
+	// part and bidder are the job's prebuilt market identities, created
+	// once in buildJobs so each clearing invocation appends pointers
+	// instead of allocating fresh participants and bid closures. The
+	// solvers never mutate them (ClearInteractive works on copies).
+	part   *core.Participant
+	bidder core.Bidder
+	// pstats points at the job's per-profile aggregate in the Result,
+	// hoisting the map lookup out of the per-slot emergency loop.
+	pstats *ProfileStats
+
 	submitSlot   int
 	remainingMin float64
 	origMin      float64
@@ -102,6 +112,7 @@ func Run(cfg Config) (*Result, error) {
 			res.PerProfile[j.profile.Name] = ps
 		}
 		ps.Jobs++
+		j.pstats = ps
 	}
 
 	// Horizon: last submit plus generous drain time.
@@ -138,6 +149,10 @@ func Run(cfg Config) (*Result, error) {
 		pendingAllocs    map[int]float64
 		pendingApplyAt   int
 		pendingOrderSlot int
+
+		// scratch is the reusable market-invocation state; the hot slot
+		// loop re-clears through it without per-invocation allocations.
+		scratch marketScratch
 	)
 	var fc *forecast.Forecaster
 	if cfg.Predictive {
@@ -305,7 +320,7 @@ func Run(cfg Config) (*Result, error) {
 			emergency = true
 			scheduler.Halt(true)
 			if cfg.Algorithm != AlgNone {
-				rounds, clearPrice, feasible, allocs, err := computeReduction(&cfg, active, d.TargetW)
+				rounds, clearPrice, feasible, err := computeReduction(&cfg, active, d.TargetW, &scratch)
 				if err != nil {
 					return nil, err
 				}
@@ -324,24 +339,34 @@ func Run(cfg Config) (*Result, error) {
 				runTrace.Emit(telemetry.Event{Name: "market_clear", Slot: slot,
 					Round: rounds, Price: clearPrice, TargetW: d.TargetW, Label: feasLabel})
 				if cfg.MarketDelaySlots == 0 {
-					for _, j := range active {
-						if a, ok := allocs[j.id]; ok {
-							j.alloc = a
-							if speed := j.profile.Speed(a); speed > 0 {
-								scheduler.ExtendRuntime(j.id, int64(slot)+int64(math.Ceil(j.remainingMin/speed)))
-							}
+					// Immediate orders apply straight from the scratch
+					// selection — no id-keyed map on the hot path.
+					for i, j := range scratch.sel {
+						a := scratch.allocs[i]
+						j.alloc = a
+						if speed := j.profile.Speed(a); speed > 0 {
+							scheduler.ExtendRuntime(j.id, int64(slot)+int64(math.Ceil(j.remainingMin/speed)))
 						}
 					}
 					sm.latency.Observe(0)
 				} else {
 					// A raise supersedes the in-flight order's content
 					// but must not postpone its delivery — the
-					// communication is already under way.
+					// communication is already under way. Only this
+					// delayed path materializes the id-keyed map (the
+					// scratch slices are recycled next invocation).
 					applyAt := slot + cfg.MarketDelaySlots
 					if pendingAllocs != nil && pendingApplyAt < applyAt {
 						applyAt = pendingApplyAt
 					}
-					pendingAllocs = allocs
+					var m map[int]float64
+					if len(scratch.sel) > 0 {
+						m = make(map[int]float64, len(scratch.sel))
+						for i, j := range scratch.sel {
+							m[j.id] = scratch.allocs[i]
+						}
+					}
+					pendingAllocs = m
 					pendingApplyAt = applyAt
 					pendingOrderSlot = slot
 				}
@@ -375,7 +400,7 @@ func Run(cfg Config) (*Result, error) {
 					if cfg.Algorithm == AlgMPRStat || cfg.Algorithm == AlgMPRInt {
 						res.PaymentCoreH += pay
 					}
-					ps := res.PerProfile[j.profile.Name]
+					ps := j.pstats
 					ps.ReductionCoreH += deltaCores / 60
 					ps.CostCoreH += cost
 					if cfg.Algorithm == AlgMPRStat || cfg.Algorithm == AlgMPRInt {
@@ -478,6 +503,20 @@ func buildJobs(cfg *Config, rng *rand.Rand) []*simJob {
 		coop := core.CooperativeBid(float64(j.cores), bidModel)
 		coop.B *= cfg.StatBidFactor
 		j.staticBid = coop
+		j.part = &core.Participant{
+			JobID:        fmt.Sprint(j.id),
+			Cores:        float64(j.cores),
+			Bid:          j.staticBid,
+			WattsPerCore: j.power.DynamicW,
+			MaxFrac:      j.profile.MaxReduction(),
+			Cost: func(d float64) float64 {
+				return float64(j.cores) * j.trueModel.Cost(d/float64(j.cores))
+			},
+			MarginalCost: func(d float64) float64 {
+				return j.trueModel.Marginal(d / float64(j.cores))
+			},
+		}
+		j.bidder = &core.RationalBidder{Cores: float64(j.cores), Model: j.bidModel}
 		jobs = append(jobs, j)
 	}
 	return jobs
@@ -512,74 +551,101 @@ func peakPower(jobs []*simJob) float64 {
 	return peak
 }
 
-// computeReduction invokes the configured algorithm and returns the
-// per-job target allocations. Returns the interactive round count (1 for
-// one-shot algorithms), the clearing price (0 for OPT/EQL), feasibility,
-// and the allocation map keyed by job ID.
-func computeReduction(cfg *Config, active []*simJob, targetW float64) (rounds int, price float64, feasible bool, allocs map[int]float64, err error) {
+// marketScratch is the engine's reusable market-invocation state: the
+// participant/bidder/job selections, the per-job allocation knobs, the
+// clearing result (its Reductions slice is recycled by ClearInto), and
+// the long-lived market index. Once the slices reach the pool's steady
+// size, an MPR-STAT invocation allocates nothing.
+type marketScratch struct {
+	parts   []*core.Participant
+	bidders []core.Bidder
+	sel     []*simJob
+	allocs  []float64 // alloc knob per selected job, parallel to sel
+	res     core.ClearingResult
+	ix      *core.MarketIndex
+}
+
+// computeReduction invokes the configured algorithm against the active
+// jobs and leaves the per-job target allocations in s.sel/s.allocs
+// (parallel slices, valid until the next invocation). Returns the
+// interactive round count (1 for one-shot algorithms), the clearing
+// price (0 for OPT/EQL), and feasibility.
+func computeReduction(cfg *Config, active []*simJob, targetW float64, s *marketScratch) (rounds int, price float64, feasible bool, err error) {
 	marketAlgo := cfg.Algorithm == AlgMPRStat || cfg.Algorithm == AlgMPRInt
 
-	var parts []*core.Participant
-	var bidders []core.Bidder
-	var sel []*simJob
+	s.parts = s.parts[:0]
+	s.bidders = s.bidders[:0]
+	s.sel = s.sel[:0]
 	for _, j := range active {
 		if marketAlgo && !j.participates {
 			continue
 		}
-		jj := j
-		p := &core.Participant{
-			JobID:        fmt.Sprint(j.id),
-			Cores:        float64(j.cores),
-			Bid:          j.staticBid,
-			WattsPerCore: j.power.DynamicW,
-			MaxFrac:      j.profile.MaxReduction(),
-			Cost: func(d float64) float64 {
-				return float64(jj.cores) * jj.trueModel.Cost(d/float64(jj.cores))
-			},
-			MarginalCost: func(d float64) float64 {
-				return jj.trueModel.Marginal(d / float64(jj.cores))
-			},
-		}
-		parts = append(parts, p)
-		bidders = append(bidders, &core.RationalBidder{Cores: float64(j.cores), Model: j.bidModel})
-		sel = append(sel, j)
+		s.parts = append(s.parts, j.part)
+		s.bidders = append(s.bidders, j.bidder)
+		s.sel = append(s.sel, j)
 	}
-	if len(parts) == 0 {
-		return 1, 0, false, nil, nil
+	s.allocs = s.allocs[:0]
+	if len(s.parts) == 0 {
+		return 1, 0, false, nil
 	}
 
 	var reductions []float64
 	switch cfg.Algorithm {
 	case AlgMPRStat:
-		r, cerr := core.ClearWithMode(parts, targetW, cfg.ClearMode)
-		if cerr != nil {
-			return 0, 0, false, nil, cerr
+		if cfg.ClearMode == core.ClearBisection {
+			r, cerr := core.ClearWithMode(s.parts, targetW, cfg.ClearMode)
+			if cerr != nil {
+				return 0, 0, false, cerr
+			}
+			reductions, price, feasible, rounds = r.Reductions, r.Price, r.Feasible, r.Rounds
+		} else {
+			// Closed-form fast path: reset the long-lived index over the
+			// current selection and re-clear into the recycled result —
+			// the same segmented solve ClearWithMode runs, minus its
+			// per-call index and result allocations.
+			if s.ix == nil {
+				s.ix, err = core.NewMarketIndex(s.parts)
+			} else {
+				err = s.ix.Reset(s.parts)
+			}
+			if err != nil {
+				return 0, 0, false, err
+			}
+			if cerr := s.ix.ClearInto(&s.res, targetW); cerr != nil {
+				return 0, 0, false, cerr
+			}
+			reductions, price, feasible, rounds = s.res.Reductions, s.res.Price, s.res.Feasible, s.res.Rounds
 		}
-		reductions, price, feasible, rounds = r.Reductions, r.Price, r.Feasible, r.Rounds
 	case AlgMPRInt:
-		r, cerr := core.ClearInteractive(parts, bidders, targetW, cfg.Interactive)
+		r, cerr := core.ClearInteractive(s.parts, s.bidders, targetW, cfg.Interactive)
 		if cerr != nil {
-			return 0, 0, false, nil, cerr
+			return 0, 0, false, cerr
 		}
 		reductions, price, feasible, rounds = r.Reductions, r.Price, r.Feasible, r.Rounds
 	case AlgOPT:
-		r, cerr := core.SolveOPT(parts, targetW, core.OPTDual)
+		r, cerr := core.SolveOPT(s.parts, targetW, core.OPTDual)
 		if cerr != nil {
-			return 0, 0, false, nil, cerr
+			return 0, 0, false, cerr
 		}
 		reductions, feasible, rounds = r.Reductions, r.Feasible, 1
 	case AlgEQL:
-		r, cerr := core.SolveEQL(parts, targetW)
+		r, cerr := core.SolveEQL(s.parts, targetW)
 		if cerr != nil {
-			return 0, 0, false, nil, cerr
+			return 0, 0, false, cerr
 		}
 		reductions, feasible, rounds = r.Reductions, r.Feasible, 1
 	default:
-		return 1, 0, true, nil, nil
+		// No algorithm: nothing selected, nothing to apply.
+		s.sel = s.sel[:0]
+		return 1, 0, true, nil
 	}
 
-	allocs = make(map[int]float64, len(sel))
-	for i, j := range sel {
+	if cap(s.allocs) >= len(s.sel) {
+		s.allocs = s.allocs[:len(s.sel)]
+	} else {
+		s.allocs = make([]float64, len(s.sel))
+	}
+	for i, j := range s.sel {
 		x := reductions[i] / float64(j.cores)
 		if x < 0 {
 			x = 0
@@ -588,7 +654,7 @@ func computeReduction(cfg *Config, active []*simJob, targetW float64) (rounds in
 		if x > maxFrac {
 			x = maxFrac
 		}
-		allocs[j.id] = 1 - x
+		s.allocs[i] = 1 - x
 	}
-	return rounds, price, feasible, allocs, nil
+	return rounds, price, feasible, nil
 }
