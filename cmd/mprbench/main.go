@@ -7,6 +7,14 @@
 //	mprbench -exp t1 -quick=false -seed 7
 //	mprbench -exp f8 -parallel 8 # bound the sweep worker pool
 //	mprbench -exp all -benchout BENCH_sweep.json
+//	mprbench -exp none -series series.csv  # export the recorded timeline
+//
+// -series runs the instrumented Gaia timeline simulation (the run behind
+// Fig. 9's power timeline), exports its per-slot series store to the
+// given file (CSV when the path ends in .csv, JSONL otherwise), and
+// evaluates the simulation SLO alert rules post hoc over the recording.
+// The export is bit-identical at any -parallel setting. Use -exp none to
+// export without running any experiment tables.
 //
 // Experiment IDs follow the paper: t1 (Table I), f1b, f2, f3, f4, f6, f7,
 // f8, f9, f10, f11, f12, f13, f14, f15, f16, f17, plus the repository
@@ -30,6 +38,8 @@ import (
 
 	"mpr/internal/experiments"
 	"mpr/internal/runner"
+	"mpr/internal/telemetry/alerts"
+	"mpr/internal/telemetry/tsdb"
 )
 
 // benchReport is the -benchout JSON schema: enough context to compare
@@ -60,6 +70,7 @@ func main() {
 		format   = flag.String("format", "text", "output format: text or markdown")
 		parallel = flag.Int("parallel", 0, "sweep worker-pool bound: 0 = GOMAXPROCS, 1 = serial, n > 1 = up to n concurrent cells (tables are identical at any setting)")
 		benchout = flag.String("benchout", "", "write a machine-readable wall-clock report (JSON) to this file")
+		series   = flag.String("series", "", "export the instrumented timeline run's per-slot series to this file (.csv = CSV, else JSONL) and evaluate the SLO alert rules over it")
 	)
 	flag.Parse()
 
@@ -71,9 +82,12 @@ func main() {
 	}
 
 	var selected []experiments.Experiment
-	if *exp == "all" {
+	switch {
+	case *exp == "all":
 		selected = experiments.All()
-	} else {
+	case *exp == "none" || *exp == "":
+		// No tables — used with -series to just export the recording.
+	default:
 		for _, id := range strings.Split(*exp, ",") {
 			e, err := experiments.ByID(strings.TrimSpace(id))
 			if err != nil {
@@ -137,6 +151,28 @@ func main() {
 			fmt.Printf("  %-4s %7.1fs  %s\n", r.ID, r.Seconds, r.Title)
 		}
 		fmt.Printf("  %-4s %7.1fs\n", "all", report.TotalSeconds)
+	}
+
+	if *series != "" {
+		res, err := experiments.TimelineRun(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "series run: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tsdb.ExportFile(res.Series, tsdb.Query{Resolution: tsdb.ResRaw}, *series); err != nil {
+			fmt.Fprintf(os.Stderr, "series export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *series)
+		firings := alerts.EvalStore(alerts.SimRules(), res.Series, 0, 0)
+		if len(firings) == 0 {
+			fmt.Println("SLO alerts over the recorded series: none fired")
+		} else {
+			fmt.Printf("SLO alerts over the recorded series (%d firings):\n", len(firings))
+			for _, f := range firings {
+				fmt.Printf("  %s — %s\n", f, f.Help)
+			}
+		}
 	}
 
 	if *benchout != "" {

@@ -11,25 +11,33 @@
 // daemon keeps running and reads reduction targets (watts, one per line)
 // from stdin, clearing one market per line.
 //
-// With -metrics ADDR (e.g. -metrics :9090) the daemon also serves its
-// telemetry over HTTP: Prometheus text format at /metrics and a
-// human-readable view of the last clearing rounds at /debug/market.
+// With -metrics ADDR (e.g. -metrics :9090) the daemon serves its full
+// observability surface over HTTP: Prometheus text (or ?format=json) at
+// /metrics, the last clearing rounds at /debug/market, hierarchical
+// trace spans at /debug/spans, windowed time-series queries at
+// /debug/series, liveness at /healthz, and net/http/pprof under
+// /debug/pprof/. A wall-clock sampler (-sample) records connected-agent
+// and per-market series; -tracelog and -serieslog persist the event
+// stream and the series store, flushed on shutdown. SIGINT/SIGTERM
+// drain the sampler and flush the sinks before exiting.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"mpr/internal/agentproto"
 	"mpr/internal/stats"
-	"mpr/internal/telemetry"
 )
 
 func main() {
@@ -38,20 +46,49 @@ func main() {
 
 func run() int {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7946", "TCP listen address")
-		agents  = flag.Int("agents", 1, "number of agents to wait for")
-		target  = flag.Float64("target", 0, "one-shot power reduction target in watts (0 = interactive stdin mode)")
-		wait    = flag.Duration("wait", 30*time.Second, "how long to wait for agents")
-		metrics = flag.String("metrics", "", "HTTP address serving /metrics and /debug/market (empty = disabled)")
+		listen    = flag.String("listen", "127.0.0.1:7946", "TCP listen address")
+		agents    = flag.Int("agents", 1, "number of agents to wait for")
+		target    = flag.Float64("target", 0, "one-shot power reduction target in watts (0 = interactive stdin mode)")
+		wait      = flag.Duration("wait", 30*time.Second, "how long to wait for agents")
+		metrics   = flag.String("metrics", "", "HTTP address serving the observability surface (empty = disabled)")
+		sample    = flag.Duration("sample", time.Second, "wall-clock series sampling interval")
+		tracelog  = flag.String("tracelog", "", "file receiving every trace event as JSONL (flushed on shutdown)")
+		serieslog = flag.String("serieslog", "", "file receiving the series store on shutdown (.csv for CSV, else JSONL)")
 	)
 	flag.Parse()
 
-	reg := telemetry.NewRegistry()
-	tracer := telemetry.NewTracer(1024)
-	m, err := agentproto.NewManager(*listen, agentproto.ManagerConfig{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var m *agentproto.Manager
+	o, err := newObs(obsConfig{
+		SampleInterval: *sample,
+		TraceLogPath:   *tracelog,
+		SeriesLogPath:  *serieslog,
+		AgentCount: func() int {
+			if m == nil {
+				return 0
+			}
+			return m.AgentCount()
+		},
+		Logf: log.Printf,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	// Drain: one final sample, then the sinks flush exactly once —
+	// whether we exit via signal, stdin EOF, or one-shot completion.
+	defer func() {
+		if err := o.shutdown(); err != nil {
+			log.Printf("telemetry flush: %v", err)
+		}
+	}()
+
+	m, err = agentproto.NewManager(*listen, agentproto.ManagerConfig{
 		Logf:      log.Printf,
-		Telemetry: reg,
-		Tracer:    tracer,
+		Telemetry: o.reg,
+		Tracer:    o.tracer,
 	})
 	if err != nil {
 		log.Print(err)
@@ -61,18 +98,22 @@ func run() int {
 	log.Printf("mprd listening on %s, waiting for %d agents", m.Addr(), *agents)
 
 	if *metrics != "" {
-		srv := &http.Server{Addr: *metrics, Handler: telemetry.Handler(reg, tracer)}
+		srv := &http.Server{Addr: *metrics, Handler: o.handler()}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("metrics server: %v", err)
 			}
 		}()
 		defer srv.Close()
-		log.Printf("telemetry on http://%s/metrics and /debug/market", *metrics)
+		log.Printf("telemetry on http://%s/metrics (/debug/market /debug/spans /debug/series /healthz /debug/pprof/)", *metrics)
 	}
 
 	deadline := time.Now().Add(*wait)
 	for m.AgentCount() < *agents {
+		if ctx.Err() != nil {
+			log.Printf("interrupted while waiting for agents")
+			return 0
+		}
 		if time.Now().After(deadline) {
 			log.Printf("only %d of %d agents connected within %s", m.AgentCount(), *agents, *wait)
 			return 1
@@ -82,48 +123,69 @@ func run() int {
 	log.Printf("%d agents registered", m.AgentCount())
 
 	if *target > 0 {
-		runMarket(m, *target)
+		runMarket(m, o, *target)
 		m.Lift()
 		return 0
 	}
 
-	sc := bufio.NewScanner(os.Stdin)
-	fmt.Println("enter power reduction targets in watts, one per line ('lift' to end an emergency, 'quit' to exit):")
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case line == "":
-			// Blank lines are tolerated quietly (interactive convenience).
-		case line == "quit":
-			return 0
-		case line == "lift":
-			m.Lift()
-			log.Printf("emergency lifted")
-		default:
-			w, err := strconv.ParseFloat(line, 64)
-			if err != nil || w <= 0 {
-				// Malformed target: report and keep serving — a typo must
-				// not take the market down mid-emergency.
-				log.Printf("ignoring malformed target %q: need a positive wattage, 'lift', or 'quit'", line)
-				continue
+	// Interactive mode: stdin lines feed the market; a signal wins the
+	// select and shuts the daemon down even mid-scan.
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			case <-ctx.Done():
+				return
 			}
-			runMarket(m, w)
+		}
+		if err := sc.Err(); err != nil {
+			log.Printf("reading stdin: %v", err)
+		}
+	}()
+	fmt.Println("enter power reduction targets in watts, one per line ('lift' to end an emergency, 'quit' to exit):")
+	for {
+		select {
+		case <-ctx.Done():
+			log.Printf("signal received, shutting down")
+			return 0
+		case line, ok := <-lines:
+			if !ok {
+				return 0
+			}
+			line = strings.TrimSpace(line)
+			switch {
+			case line == "":
+				// Blank lines are tolerated quietly (interactive convenience).
+			case line == "quit":
+				return 0
+			case line == "lift":
+				m.Lift()
+				log.Printf("emergency lifted")
+			default:
+				w, err := strconv.ParseFloat(line, 64)
+				if err != nil || w <= 0 {
+					// Malformed target: report and keep serving — a typo must
+					// not take the market down mid-emergency.
+					log.Printf("ignoring malformed target %q: need a positive wattage, 'lift', or 'quit'", line)
+					continue
+				}
+				runMarket(m, o, w)
+			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		log.Printf("reading stdin: %v", err)
-		return 1
-	}
-	return 0
 }
 
-func runMarket(m *agentproto.Manager, targetW float64) {
+func runMarket(m *agentproto.Manager, o *obs, targetW float64) {
 	out, err := m.RunMarket(targetW)
 	if err != nil {
 		log.Printf("market failed: %v", err)
 		return
 	}
 	r := out.Result
+	o.recordMarket(targetW, r)
 	tbl := stats.NewTable(
 		fmt.Sprintf("Market cleared: price %.4f, %d rounds, converged=%v, supplied %.1f W of %.1f W",
 			r.Price, r.Rounds, r.Converged, r.SuppliedW, targetW),

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"os"
+	"time"
+
+	"mpr/internal/core"
+	"mpr/internal/telemetry"
+	"mpr/internal/telemetry/alerts"
+	"mpr/internal/telemetry/tsdb"
+)
+
+// Series the daemon samples (wall-clock Unix-second timestamps).
+const (
+	seriesAgentsConnected = "mpr_mgr_agents_connected"
+	seriesMarketRounds    = "mpr_mgr_market_rounds"
+	seriesMarketPrice     = "mpr_mgr_market_price"
+	seriesMarketSupplied  = "mpr_mgr_market_supplied_w"
+	seriesMarketUnmet     = "mpr_mgr_market_unmet_w"
+)
+
+// obsConfig parameterizes the daemon's observability runtime.
+type obsConfig struct {
+	// SampleInterval is the wall-clock sampling period (default 1s).
+	SampleInterval time.Duration
+	// TraceLogPath, when set, receives every trace event as one JSON
+	// line (buffered; flushed at shutdown).
+	TraceLogPath string
+	// SeriesLogPath, when set, receives the full series store at
+	// shutdown (CSV when the path ends in .csv, JSONL otherwise).
+	SeriesLogPath string
+	// AgentCount reports the number of connected agents.
+	AgentCount func() int
+	// Logf receives alert firings and flush diagnostics.
+	Logf func(format string, args ...interface{})
+	// Clock drives the sampler (tests inject tsdb.FakeClock).
+	Clock tsdb.Clock
+}
+
+// obs is mprd's observability runtime: registry, event tracer, series
+// store, wall-clock ticker sampler, live alert evaluation, and the
+// shutdown drain that flushes the trace/series sinks exactly once.
+type obs struct {
+	cfg    obsConfig
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	store  *tsdb.Store
+
+	agentsSeries *tsdb.Series
+	droppedGauge *telemetry.Gauge
+	alertsFired  *telemetry.CounterFamily
+	rules        []alerts.Rule
+
+	sampler   *tsdb.TickerSampler
+	start     time.Time
+	traceFile *os.File
+	traceBuf  *bufio.Writer
+
+	cancel context.CancelFunc
+	done   chan error
+}
+
+// newObs builds and starts the runtime; call shutdown to drain it.
+func newObs(c obsConfig) (*obs, error) {
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = tsdb.RealClock()
+	}
+	if c.AgentCount == nil {
+		c.AgentCount = func() int { return 0 }
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+	o := &obs{
+		cfg:    c,
+		reg:    telemetry.NewRegistry(),
+		tracer: telemetry.NewTracer(1024),
+		store:  tsdb.New(0),
+		start:  c.Clock.Now(),
+		rules:  alerts.ManagerRules(),
+	}
+	o.agentsSeries = o.store.Series(seriesAgentsConnected)
+	o.droppedGauge = o.reg.Gauge("mpr_mgr_trace_dropped_events",
+		"Trace events overwritten by the ring before being scraped.")
+	o.alertsFired = o.reg.CounterFamily("mpr_mgr_alerts_total",
+		"SLO alert firings by rule.", "rule")
+	if c.TraceLogPath != "" {
+		f, err := os.Create(c.TraceLogPath)
+		if err != nil {
+			return nil, err
+		}
+		o.traceFile = f
+		o.traceBuf = bufio.NewWriter(f)
+		o.tracer.SetSink(o.traceBuf)
+	}
+	o.sampler = &tsdb.TickerSampler{
+		Interval: c.SampleInterval,
+		Clock:    c.Clock,
+		Sample:   o.sample,
+		Flush:    o.flush,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	o.cancel = cancel
+	o.done = make(chan error, 1)
+	go func() { o.done <- o.sampler.Run(ctx) }()
+	return o, nil
+}
+
+// sample records one wall-clock observation.
+func (o *obs) sample(now time.Time) {
+	o.agentsSeries.Append(now.Unix(), float64(o.cfg.AgentCount()))
+	o.droppedGauge.Set(float64(o.tracer.Dropped()))
+}
+
+// flush drains the sinks. The sampler calls it exactly once, after the
+// final shutdown sample.
+func (o *obs) flush() error {
+	var first error
+	if o.traceBuf != nil {
+		if err := o.traceBuf.Flush(); err != nil && first == nil {
+			first = err
+		}
+		if err := o.traceFile.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if o.cfg.SeriesLogPath != "" {
+		if err := tsdb.ExportFile(o.store, tsdb.Query{Resolution: tsdb.ResRaw}, o.cfg.SeriesLogPath); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// shutdown stops the sampler, waits for the final sample + flush, and
+// returns the flush error. Safe to call once.
+func (o *obs) shutdown() error {
+	o.cancel()
+	return <-o.done
+}
+
+// health is the /healthz snapshot.
+func (o *obs) health() telemetry.Health {
+	now := o.cfg.Clock.Now()
+	return telemetry.Health{
+		Status:               "ok",
+		UptimeSeconds:        now.Sub(o.start).Seconds(),
+		AgentsConnected:      o.cfg.AgentCount(),
+		LastSampleAgeSeconds: o.sampler.LastSampleAge(now).Seconds(),
+	}
+}
+
+// handler is the daemon's full HTTP surface: /metrics, /debug/market,
+// /debug/spans, /debug/series, /healthz, and /debug/pprof.
+func (o *obs) handler() http.Handler {
+	return telemetry.NewHandler(telemetry.HandlerConfig{
+		Registry: o.reg,
+		Tracer:   o.tracer,
+		Series:   tsdb.Handler(o.store),
+		Health:   o.health,
+		Pprof:    true,
+	})
+}
+
+// recordMarket samples a finished market into the series store and
+// evaluates the live SLO rules over the samples just written, logging
+// and counting any firing.
+func (o *obs) recordMarket(targetW float64, r *core.ClearingResult) {
+	t := o.cfg.Clock.Now().Unix()
+	o.store.Series(seriesMarketRounds).Append(t, float64(r.Rounds))
+	o.store.Series(seriesMarketPrice).Append(t, r.Price)
+	o.store.Series(seriesMarketSupplied).Append(t, r.SuppliedW)
+	unmet := targetW - r.SuppliedW
+	if unmet < 0 {
+		unmet = 0
+	}
+	o.store.Series(seriesMarketUnmet).Append(t, unmet)
+	for _, f := range alerts.EvalStore(o.rules, o.store, t, 0) {
+		o.alertsFired.With(f.Rule).Inc()
+		o.cfg.Logf("%s — %s", f, f.Help)
+	}
+}

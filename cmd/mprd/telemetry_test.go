@@ -1,0 +1,145 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mpr/internal/core"
+	"mpr/internal/telemetry"
+	"mpr/internal/telemetry/tsdb"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestObsShutdownDrainsAndFlushes is the shutdown-drain contract: on
+// cancellation the sampler takes one final sample, then the trace and
+// series sinks flush exactly once, and both files land on disk complete.
+func TestObsShutdownDrainsAndFlushes(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	seriesPath := filepath.Join(dir, "series.csv")
+	clock := tsdb.NewFakeClock(time.Unix(1000, 0))
+	o, err := newObs(obsConfig{
+		SampleInterval: time.Second,
+		TraceLogPath:   tracePath,
+		SeriesLogPath:  seriesPath,
+		AgentCount:     func() int { return 3 },
+		Clock:          clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Startup sample lands without any tick.
+	waitFor(t, "startup sample", func() bool { return o.agentsSeries.Total() >= 1 })
+	o.tracer.Emit(telemetry.Event{Name: "market_clear", Round: 7})
+	clock.Advance(3 * time.Second)
+	waitFor(t, "ticked samples", func() bool { return o.agentsSeries.Total() >= 4 })
+
+	if err := o.shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Drain adds exactly one final sample.
+	if got := o.agentsSeries.Total(); got != 5 {
+		t.Fatalf("samples after drain = %d, want 5", got)
+	}
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(traceData), `"name":"market_clear"`) {
+		t.Fatalf("trace sink not flushed: %q", traceData)
+	}
+	seriesData, err := os.ReadFile(seriesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(seriesData), seriesAgentsConnected) {
+		t.Fatalf("series sink missing %s: %q", seriesAgentsConnected, seriesData)
+	}
+	// Every sample saw 3 connected agents.
+	if !strings.Contains(string(seriesData), ",3,") {
+		t.Fatalf("series export lost the agent count: %q", seriesData)
+	}
+}
+
+func TestObsHealthAndHandler(t *testing.T) {
+	clock := tsdb.NewFakeClock(time.Unix(5000, 0))
+	o, err := newObs(obsConfig{
+		SampleInterval: time.Second,
+		AgentCount:     func() int { return 2 },
+		Clock:          clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.shutdown()
+	waitFor(t, "startup sample", func() bool { return o.agentsSeries.Total() >= 1 })
+	clock.Advance(10 * time.Second)
+	waitFor(t, "ticks", func() bool { return o.agentsSeries.Total() >= 11 })
+
+	h := o.health()
+	if h.Status != "ok" || h.AgentsConnected != 2 {
+		t.Fatalf("health = %+v", h)
+	}
+	if h.UptimeSeconds != 10 {
+		t.Fatalf("uptime = %v, want 10", h.UptimeSeconds)
+	}
+	if h.LastSampleAgeSeconds < 0 || h.LastSampleAgeSeconds > 10 {
+		t.Fatalf("sample age = %v", h.LastSampleAgeSeconds)
+	}
+
+	// The handler serves the full surface.
+	for _, path := range []string{"/metrics", "/debug/market", "/debug/spans", "/debug/series", "/healthz", "/debug/pprof/cmdline"} {
+		rec := httptest.NewRecorder()
+		o.handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s status = %d", path, rec.Code)
+		}
+	}
+}
+
+// TestObsRecordMarketFiresAlerts checks the live SLO evaluation: an
+// unmet reduction target fires UnmetReduction and a long market fires
+// MarketRoundsRegression, both counted in the registry.
+func TestObsRecordMarketFiresAlerts(t *testing.T) {
+	var logged []string
+	o, err := newObs(obsConfig{
+		Clock: tsdb.NewFakeClock(time.Unix(0, 0)),
+		Logf:  func(f string, a ...interface{}) { logged = append(logged, f) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.shutdown()
+
+	// A healthy market: no firings.
+	o.recordMarket(1000, &core.ClearingResult{Rounds: 5, Price: 0.4, SuppliedW: 1000})
+	if n := o.reg.Snapshot().Counters[`mpr_mgr_alerts_total{rule="UnmetReduction"}`]; n != 0 {
+		t.Fatalf("healthy market fired %d alerts", n)
+	}
+	// Unmet target + excessive rounds: both rules fire.
+	o.recordMarket(2000, &core.ClearingResult{Rounds: 45, Price: 0.9, SuppliedW: 1500})
+	snap := o.reg.Snapshot()
+	if n := snap.Counters[`mpr_mgr_alerts_total{rule="UnmetReduction"}`]; n != 1 {
+		t.Fatalf("UnmetReduction fired %d times, want 1", n)
+	}
+	if n := snap.Counters[`mpr_mgr_alerts_total{rule="MarketRoundsRegression"}`]; n != 1 {
+		t.Fatalf("MarketRoundsRegression fired %d times, want 1", n)
+	}
+	if len(logged) != 2 {
+		t.Fatalf("logged %d firings, want 2", len(logged))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -291,53 +292,70 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 		}
 	}
 
+	// The market runs as a span tree — market → market_round →
+	// respond_bids — so /debug/spans shows where wall-time went, and the
+	// bid fan-out carries the "mpr_span" pprof label (agent reader
+	// goroutines feeding the bid channels inherit their creator's labels,
+	// so only the collection itself is labeled here).
+	mkSpan := m.cfg.Tracer.StartSpan("market", nil)
+	mkSpan.SetAttr("target_w", strconv.FormatFloat(targetW, 'g', -1, 64))
+	mkSpan.SetAttr("agents", strconv.Itoa(len(agents)))
+
 	price := m.cfg.InitialPrice
 	var res *core.ClearingResult
 	converged := false
 	rounds := 0
 	for round := 1; round <= m.cfg.MaxRounds; round++ {
 		rounds = round
+		roundSpan := mkSpan.StartChild("market_round")
 		// Broadcast the price and gather this round's bids.
-		for _, a := range agents {
-			if err := a.send(Message{Type: MsgPrice, Round: round, Price: price, TargetW: targetW}); err != nil {
-				m.logf("price to %s failed: %v", a.hello.JobID, err)
-			}
-		}
-		broadcastAt := time.Now()
-		deadline := time.After(m.cfg.RoundTimeout)
-	collect:
-		for i, a := range agents {
-			for {
-				select {
-				case bid := <-a.bids:
-					if bid.Round != round {
-						// Bids must echo the round they answer; anything
-						// else is stale (or fabricated) and is discarded.
-						m.malformed.Inc()
-						continue
-					}
-					m.bidRTT.Observe(time.Since(broadcastAt).Seconds())
-					parts[i].Bid = core.Bid{Delta: bid.Delta, B: bid.B}
-					continue collect
-				case <-deadline:
-					// Keep the agent's previous bid (possibly zero) — the
-					// paper's timeout rule: the market proceeds with the
-					// last information available.
-					m.timeouts.Inc()
-					m.logf("round %d: timeout waiting for %s", round, a.hello.JobID)
-					deadline = closedTimeChan()
-					continue collect
+		bidSpan := roundSpan.StartChild("respond_bids")
+		telemetry.WithPprofLabels("respond_bids", func() {
+			for _, a := range agents {
+				if err := a.send(Message{Type: MsgPrice, Round: round, Price: price, TargetW: targetW}); err != nil {
+					m.logf("price to %s failed: %v", a.hello.JobID, err)
 				}
 			}
-		}
+			broadcastAt := time.Now()
+			deadline := time.After(m.cfg.RoundTimeout)
+		collect:
+			for i, a := range agents {
+				for {
+					select {
+					case bid := <-a.bids:
+						if bid.Round != round {
+							// Bids must echo the round they answer; anything
+							// else is stale (or fabricated) and is discarded.
+							m.malformed.Inc()
+							continue
+						}
+						m.bidRTT.Observe(time.Since(broadcastAt).Seconds())
+						parts[i].Bid = core.Bid{Delta: bid.Delta, B: bid.B}
+						continue collect
+					case <-deadline:
+						// Keep the agent's previous bid (possibly zero) — the
+						// paper's timeout rule: the market proceeds with the
+						// last information available.
+						m.timeouts.Inc()
+						m.logf("round %d: timeout waiting for %s", round, a.hello.JobID)
+						deadline = closedTimeChan()
+						continue collect
+					}
+				}
+			}
+		})
+		bidSpan.End()
 		var err error
 		res, err = core.Clear(parts, targetW)
 		if err != nil {
+			roundSpan.End()
+			mkSpan.End()
 			return nil, err
 		}
 		m.rounds.Inc()
 		m.cfg.Tracer.Emit(telemetry.Event{Name: "market_round", Round: round,
 			Price: res.Price, TargetW: targetW, SuppliedW: res.SuppliedW, Value: price})
+		roundSpan.End()
 		if math.Abs(res.Price-price) <= m.cfg.Tolerance*math.Max(price, 1e-12) {
 			converged = true
 			break
@@ -347,6 +365,9 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 	res.Rounds = rounds
 	res.Converged = converged
 	m.markets.Inc()
+	mkSpan.SetAttr("rounds", strconv.Itoa(rounds))
+	mkSpan.SetAttr("converged", strconv.FormatBool(converged))
+	mkSpan.End()
 	clearLabel := "converged"
 	if !converged {
 		clearLabel = "budget_exhausted"

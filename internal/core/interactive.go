@@ -46,6 +46,10 @@ type InteractiveConfig struct {
 	// supply) — the convergence trajectory of Figs. 9-11. Nil (the
 	// default) emits nothing and costs nothing.
 	Trace *telemetry.Trace
+	// Span, when set, is the enclosing trace span: each exchange records
+	// a "market_round" child containing a "respond_bids" grandchild, so
+	// span views show where market wall-time goes. Nil records nothing.
+	Span *telemetry.ActiveSpan
 }
 
 func (c *InteractiveConfig) normalize() {
@@ -150,7 +154,12 @@ func ClearInteractive(ps []*Participant, bidders []Bidder, targetW float64, cfg 
 	var ix *MarketIndex
 	res := &ClearingResult{}
 	for round := 1; round <= cfg.MaxRounds; round++ {
+		// Span handles are nil-safe, so the uninstrumented path (Span ==
+		// nil, the zero-alloc steady state) records and allocates nothing.
+		roundSpan := cfg.Span.StartChild("market_round")
+		bidSpan := roundSpan.StartChild("respond_bids")
 		respondBids(bidders, q, bids, cfg.Workers)
+		bidSpan.End()
 		if cfg.Mode == ClearBisection {
 			for i := range workPtrs {
 				workPtrs[i].Bid = bids[i]
@@ -187,6 +196,7 @@ func ClearInteractive(ps []*Participant, bidders []Bidder, targetW float64, cfg 
 			Price: res.Price, TargetW: targetW, SuppliedW: res.SuppliedW,
 			Value: q, // the price announced this round
 		})
+		roundSpan.End()
 		if math.Abs(res.Price-q) <= cfg.Tolerance*math.Max(q, 1e-12) {
 			res.Converged = true
 			finishInteractive(res)

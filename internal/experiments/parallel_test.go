@@ -3,6 +3,9 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"mpr/internal/sim"
+	"mpr/internal/telemetry/tsdb"
 )
 
 // renderResult flattens an experiment result into one canonical string so
@@ -23,8 +26,9 @@ func renderResult(res *Result) string {
 
 // TestSweepBitIdentity is the determinism contract of DESIGN.md §9: every
 // sweep renders byte-identical tables at any worker count. The IDs cover
-// each rewired sweep family — the Gaia oversubscription sweep (f8), the
-// participation and error sweeps (f12, f13, whose concurrent cells also
+// each rewired sweep family — the Gaia oversubscription sweep (f8), its
+// series-instrumented sibling whose timeline table is regenerated from
+// the recorded store (f9), the participation and error sweeps (f12, f13, whose concurrent cells also
 // share one singleflight-cached trace), the ablation case matrix (a5),
 // the two-stage uniform-vs-partitioned sweep (x4), the phase-noise
 // sweep (x7), and the analytic Table I / CDF paths (t1, f1b). Timing
@@ -35,7 +39,7 @@ func renderResult(res *Result) string {
 // suite's wall clock even at a 2-day horizon, and its sweep structure
 // (trace × algorithm cells over cachedTrace) is the same as f12/f13's.
 func TestSweepBitIdentity(t *testing.T) {
-	ids := []string{"f8", "x4", "t1"}
+	ids := []string{"f8", "f9", "x4", "t1"}
 	if !testing.Short() {
 		ids = append(ids, "f12", "f13", "a5", "x7", "f1b")
 	}
@@ -67,5 +71,38 @@ func TestSweepBitIdentity(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSeriesExportBitIdentity extends the determinism contract to the
+// recorded series store itself: the timeline run's raw JSONL export is
+// byte-identical at any worker count. This is the property the mprbench
+// -series flag relies on.
+func TestSeriesExportBitIdentity(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 4, 16} {
+		ResetCaches()
+		res, err := TimelineRun(Options{Seed: 1, Quick: true, Days: 2, Parallel: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var b strings.Builder
+		if err := tsdb.WriteJSONL(&b, res.Series.Query(tsdb.Query{Resolution: tsdb.ResRaw})); err != nil {
+			t.Fatalf("workers=%d export: %v", workers, err)
+		}
+		got := b.String()
+		if workers == 1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d series export differs from serial (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+	}
+	for _, name := range []string{sim.SeriesPowerDemandW, sim.SeriesOverloadW, sim.SeriesMarketRounds} {
+		if !strings.Contains(want, name) {
+			t.Fatalf("export is missing series %s", name)
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"mpr/internal/runner"
 	"mpr/internal/stats"
 	"mpr/internal/telemetry"
+	"mpr/internal/telemetry/tsdb"
 )
 
 func init() {
@@ -85,8 +86,10 @@ func runFig10(o Options) (*Result, error) {
 	convTbl := stats.NewTable("Fig. 10(b) inset — MPR-INT convergence trajectory (largest pool)",
 		"round", "announced price", "cleared price", "supplied (W)", "price error (%)")
 
-	// The per-round price trajectory is read back from the clearing trace
-	// of the largest pool — the telemetry layer's int_round events.
+	// The per-round price trajectory is recorded as int_round trace
+	// events on the largest pool, ingested into a series store, and read
+	// back as per-round convergence series — the same record/replay path
+	// the post-hoc tooling uses (DESIGN.md §10).
 	tracer := telemetry.NewTracer(256)
 	largest := sizes[len(sizes)-1]
 
@@ -161,16 +164,32 @@ func runFig10(o Options) (*Result, error) {
 		intMS := time.Since(t0).Seconds() * 1000
 
 		if n == largest {
+			store := tsdb.New(0)
+			tsdb.IngestMarketTrace(store, tracer.Events())
+			match := map[string]string{"trace": fmt.Sprintf("mpr-int-n%d", n)}
+			get := func(name string) []tsdb.Bucket {
+				data := store.Query(tsdb.Query{
+					Name: name, Match: match, Resolution: tsdb.ResRaw,
+				})
+				if len(data) == 0 {
+					return nil
+				}
+				return data[0].Points
+			}
+			announced := get(tsdb.SeriesMarketAnnouncedPrice)
+			cleared := get(tsdb.SeriesMarketClearedPrice)
+			supplied := get(tsdb.SeriesMarketSuppliedW)
 			final := intRes.Price
-			for _, e := range tracer.Events() {
-				if e.Name != "int_round" {
-					continue
+			for i := range announced {
+				if i >= len(cleared) || i >= len(supplied) {
+					break
 				}
 				errPct := 0.0
 				if final != 0 {
-					errPct = 100 * (e.Price - final) / final
+					errPct = 100 * (cleared[i].Max - final) / final
 				}
-				convTbl.AddRow(e.Round, e.Value, e.Price, e.SuppliedW, errPct)
+				convTbl.AddRow(int(announced[i].Start), announced[i].Max,
+					cleared[i].Max, supplied[i].Max, errPct)
 			}
 		}
 		intTotal := time.Duration(intMS*float64(time.Millisecond)) + time.Duration(intRes.Rounds)*commPerRound
@@ -183,6 +202,6 @@ func runFig10(o Options) (*Result, error) {
 		Notes: []string{
 			"MPR-INT total time charges 500 ms of communication per round, as in the paper",
 			"MPR-STAT uses the closed-form segmented solver; 'MPR-STAT bisect' is the legacy bisection search and 'indexed clear' the per-clear cost once the market index is built (amortized over 100 re-clears)",
-			"the convergence trajectory is read from the telemetry layer's per-round int_round trace events; price error is the cleared price's deviation from the final (Nash) price",
+			"the convergence trajectory is regenerated from recorded series: the per-round int_round trace events are ingested into a time-series store and queried back (DESIGN.md §10); price error is the cleared price's deviation from the final (Nash) price",
 		}}, nil
 }

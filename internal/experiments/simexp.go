@@ -100,8 +100,19 @@ func runFig9(o Options) (*Result, error) {
 		red15.AddRow(rowR...)
 		cost15.AddRow(rowC...)
 	}
+
+	// Power timeline regenerated from the recorded series store of the
+	// instrumented MPR-INT run at 15% (Fig. 9(e)).
+	tl, err := TimelineRun(o)
+	if err != nil {
+		return nil, err
+	}
+	timeline := timelineTable(tl.Series, 24)
 	return &Result{ID: "f9", Title: "Fig. 9",
-		Tables: []*stats.Table{cost, runtime, red15, cost15}}, nil
+		Tables: []*stats.Table{cost, runtime, red15, cost15, timeline},
+		Notes: []string{
+			"the power timeline is read back from the per-slot series the instrumented MPR-INT run records (100-slot downsampled windows; see DESIGN.md §10)",
+		}}, nil
 }
 
 func runFig11(o Options) (*Result, error) {

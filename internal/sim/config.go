@@ -115,6 +115,17 @@ type Config struct {
 	// RecordSeries, when positive, keeps a power time series downsampled
 	// to roughly this many points.
 	RecordSeries int
+	// SampleSeries enables the per-slot time-series sampler: the run
+	// records cluster power, overload depth, clearing price, reduction
+	// target/cleared/unmet, active-bidder count, and emergency state into
+	// Result.Series (an embedded multi-resolution store, see
+	// internal/telemetry/tsdb). Timestamps are virtual slots, so exports
+	// are bit-identical across worker counts.
+	SampleSeries bool
+	// SeriesCapacity is the raw-ring capacity per sampled series
+	// (default 4096; each series also keeps 10× and 100× downsampled
+	// rings of the same bucket count).
+	SeriesCapacity int
 	// TraceEvents caps the run's in-memory telemetry event ring (the
 	// clearing-round and emergency trace returned in Result.TraceEvents).
 	// Default 512.

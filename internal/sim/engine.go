@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 
 	"mpr/internal/core"
 	"mpr/internal/forecast"
@@ -13,6 +14,7 @@ import (
 	"mpr/internal/sched"
 	"mpr/internal/stats"
 	"mpr/internal/telemetry"
+	"mpr/internal/telemetry/tsdb"
 )
 
 // simJob is the engine's per-job state.
@@ -73,6 +75,15 @@ func Run(cfg Config) (*Result, error) {
 	runTrace := tracer.StartTrace(string(cfg.Algorithm))
 	sm := newSimMetrics(reg)
 	cfg.Interactive.Trace = runTrace
+
+	// Per-slot series sampling (SampleSeries): handles resolve once here;
+	// over a nil store they are all Nop, so the disabled path costs only
+	// nil checks in the slot loop.
+	var seriesStore *tsdb.Store
+	if cfg.SampleSeries {
+		seriesStore = tsdb.New(cfg.SeriesCapacity)
+	}
+	smp := newSeriesSampler(seriesStore, string(cfg.Algorithm))
 
 	jobs := buildJobs(&cfg, rng)
 	peakW := peakPower(jobs)
@@ -153,6 +164,12 @@ func Run(cfg Config) (*Result, error) {
 		// scratch is the reusable market-invocation state; the hot slot
 		// loop re-clears through it without per-invocation allocations.
 		scratch marketScratch
+
+		// lastTargetW is the reduction target of the in-force emergency
+		// (for the unmet-reduction series); emSpan the open emergency span.
+		lastTargetW float64
+		emSpan      *telemetry.ActiveSpan
+		marketAlgo  = cfg.Algorithm == AlgMPRStat || cfg.Algorithm == AlgMPRInt
 	)
 	var fc *forecast.Forecaster
 	if cfg.Predictive {
@@ -314,16 +331,37 @@ func Run(cfg Config) (*Result, error) {
 			if d.Declare {
 				res.EmergencyCount++
 				runTrace.Emit(telemetry.Event{Name: "emergency_declare", Slot: slot, TargetW: d.TargetW, Value: demandW - capW})
+				emSpan = tracer.StartSpan("emergency", nil)
+				emSpan.SetAttr("slot", strconv.Itoa(slot))
+				emSpan.SetAttr("algo", string(cfg.Algorithm))
 			} else {
 				runTrace.Emit(telemetry.Event{Name: "emergency_raise", Slot: slot, TargetW: d.TargetW, Value: demandW - capW})
 			}
 			emergency = true
+			lastTargetW = d.TargetW
 			scheduler.Halt(true)
 			if cfg.Algorithm != AlgNone {
-				rounds, clearPrice, feasible, err := computeReduction(&cfg, active, d.TargetW, &scratch)
-				if err != nil {
-					return nil, err
+				// The market runs as a child span of the emergency, under
+				// the "mpr_span" pprof label so CPU profiles attribute
+				// clearing work to the market (not the slot loop).
+				mkSpan := emSpan.StartChild("market")
+				cfg.Interactive.Span = mkSpan
+				var (
+					rounds     int
+					clearPrice float64
+					feasible   bool
+					merr       error
+				)
+				telemetry.WithPprofLabels("market", func() {
+					rounds, clearPrice, feasible, merr = computeReduction(&cfg, active, d.TargetW, &scratch)
+				})
+				cfg.Interactive.Span = nil
+				if merr != nil {
+					return nil, merr
 				}
+				mkSpan.SetAttr("rounds", strconv.Itoa(rounds))
+				mkSpan.End()
+				smp.sampleClear(slot, rounds)
 				res.MarketInvocations++
 				totalRounds += rounds
 				sumPrice += clearPrice
@@ -374,12 +412,16 @@ func Run(cfg Config) (*Result, error) {
 		case d.Lift:
 			emergency = false
 			price = 0
+			lastTargetW = 0
 			pendingAllocs = nil
 			scheduler.Halt(false)
 			for _, j := range active {
 				j.alloc = 1
 			}
 			runTrace.Emit(telemetry.Event{Name: "emergency_lift", Slot: slot, TargetW: d.TargetW})
+			emSpan.SetAttr("lift_slot", strconv.Itoa(slot))
+			emSpan.End()
+			emSpan = nil
 		}
 
 		// 5. Per-slot statistics.
@@ -419,6 +461,15 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.RecordSeries > 0 {
 			demandSeries.Append(int64(slot), demandW)
 			deliverSeries.Append(int64(slot), deliveredW)
+		}
+		if smp.enabled() {
+			bidderCount := 0
+			for _, j := range active {
+				if j.participates || !marketAlgo {
+					bidderCount++
+				}
+			}
+			smp.sample(slot, demandW, deliveredW, capW, price, emergency, lastTargetW, bidderCount)
 		}
 
 		// 6. Progress work.
@@ -464,6 +515,11 @@ func Run(cfg Config) (*Result, error) {
 		res.DemandSeries = demandSeries.Downsample(cfg.RecordSeries)
 		res.DeliveredSeries = deliverSeries.Downsample(cfg.RecordSeries)
 	}
+	// An emergency still open at the horizon closes its span here so the
+	// run's span set is complete.
+	emSpan.End()
+	res.Series = seriesStore
+	res.Spans = tracer.Spans()
 	res.Telemetry = reg.Snapshot()
 	res.TraceEvents = tracer.Events()
 	return res, nil

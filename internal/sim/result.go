@@ -3,6 +3,7 @@ package sim
 import (
 	"mpr/internal/stats"
 	"mpr/internal/telemetry"
+	"mpr/internal/telemetry/tsdb"
 )
 
 // ProfileStats aggregates market outcomes per application profile — the
@@ -82,6 +83,17 @@ type Result struct {
 	// (watts) when Config.RecordSeries > 0.
 	DemandSeries    *stats.Series
 	DeliveredSeries *stats.Series
+
+	// Series is the run's sampled time-series store when
+	// Config.SampleSeries is set: per-slot power, overload, price,
+	// reduction, and bidder series (names in sampler.go) queryable at
+	// raw/10×/100× resolution and exportable as JSONL/CSV.
+	Series *tsdb.Store
+
+	// Spans are the run's completed hierarchical trace spans: each
+	// emergency contains its market-invocation children (and, for
+	// MPR-INT, per-round grandchildren with the bid fan-out).
+	Spans []telemetry.Span
 
 	// Telemetry is the run's metrics snapshot: market clears and price
 	// searches, emergency transitions, the MPR-INT rounds-to-convergence

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"mpr/internal/telemetry/tsdb"
+)
+
+// Series names the engine samples into Result.Series each simulated slot
+// when Config.SampleSeries is set. Timestamps are virtual (the slot
+// number), so exported series are bit-identical across worker counts and
+// wall-clock conditions — the determinism contract of DESIGN.md §9.
+const (
+	SeriesPowerDemandW     = "mpr_sim_power_demand_w"
+	SeriesPowerDeliveredW  = "mpr_sim_power_delivered_w"
+	SeriesPowerCapacityW   = "mpr_sim_power_capacity_w"
+	SeriesOverloadW        = "mpr_sim_overload_w"
+	SeriesClearingPrice    = "mpr_sim_clearing_price"
+	SeriesReductionTarget  = "mpr_sim_reduction_target_w"
+	SeriesReductionCleared = "mpr_sim_reduction_cleared_w"
+	SeriesReductionUnmet   = "mpr_sim_reduction_unmet_w"
+	SeriesActiveBidders    = "mpr_sim_active_bidders"
+	SeriesEmergencyActive  = "mpr_sim_emergency_active"
+	SeriesMarketRounds     = "mpr_sim_market_rounds"
+)
+
+// seriesSampler holds the engine's resolved series handles. Handles are
+// resolved once at run start; the per-slot sample call is then pure ring
+// appends — zero allocations in steady state. Built over a nil store
+// every handle is the Nop series, so the uninstrumented hot loop pays
+// only nil checks.
+type seriesSampler struct {
+	store *tsdb.Store
+
+	demandW    *tsdb.Series
+	deliveredW *tsdb.Series
+	capacityW  *tsdb.Series
+	overloadW  *tsdb.Series
+	price      *tsdb.Series
+	targetW    *tsdb.Series
+	clearedW   *tsdb.Series
+	unmetW     *tsdb.Series
+	bidders    *tsdb.Series
+	emergency  *tsdb.Series
+	rounds     *tsdb.Series
+}
+
+func newSeriesSampler(store *tsdb.Store, algo string) seriesSampler {
+	l := tsdb.Label{Key: "algo", Value: algo}
+	return seriesSampler{
+		store:      store,
+		demandW:    store.Series(SeriesPowerDemandW, l),
+		deliveredW: store.Series(SeriesPowerDeliveredW, l),
+		capacityW:  store.Series(SeriesPowerCapacityW, l),
+		overloadW:  store.Series(SeriesOverloadW, l),
+		price:      store.Series(SeriesClearingPrice, l),
+		targetW:    store.Series(SeriesReductionTarget, l),
+		clearedW:   store.Series(SeriesReductionCleared, l),
+		unmetW:     store.Series(SeriesReductionUnmet, l),
+		bidders:    store.Series(SeriesActiveBidders, l),
+		emergency:  store.Series(SeriesEmergencyActive, l),
+		rounds:     store.Series(SeriesMarketRounds, l),
+	}
+}
+
+// enabled reports whether sampling is on — callers use it to skip work
+// (like counting bidders) that only feeds the sampler.
+func (s *seriesSampler) enabled() bool { return s.store != nil }
+
+// sample records one slot's cluster state. clearedW is the reduction
+// currently in force (demand minus delivered); unmet is how far it falls
+// short of the emergency target while one is active.
+func (s *seriesSampler) sample(slot int, demandW, deliveredW, capW, price float64, emergency bool, targetW float64, activeBidders int) {
+	t := int64(slot)
+	s.demandW.Append(t, demandW)
+	s.deliveredW.Append(t, deliveredW)
+	s.capacityW.Append(t, capW)
+	overload := deliveredW - capW
+	if overload < 0 {
+		overload = 0
+	}
+	s.overloadW.Append(t, overload)
+	s.price.Append(t, price)
+	em := 0.0
+	cleared := demandW - deliveredW
+	if cleared < 0 {
+		cleared = 0
+	}
+	var unmet float64
+	if emergency {
+		em = 1
+		s.targetW.Append(t, targetW)
+		if unmet = targetW - cleared; unmet < 0 {
+			unmet = 0
+		}
+	}
+	s.clearedW.Append(t, cleared)
+	s.unmetW.Append(t, unmet)
+	s.bidders.Append(t, float64(activeBidders))
+	s.emergency.Append(t, em)
+}
+
+// sampleClear records a market invocation's round count at its slot.
+func (s *seriesSampler) sampleClear(slot, rounds int) {
+	s.rounds.Append(int64(slot), float64(rounds))
+}

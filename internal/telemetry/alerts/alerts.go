@@ -1,0 +1,264 @@
+// Package alerts evaluates SLO alert rules over recorded time series —
+// threshold rules ("metric above X for N consecutive samples") and
+// burn-rate rules ("metric violating in more than F of the trailing W
+// samples"). mprd evaluates the manager rules live after every market;
+// mprbench evaluates the simulator rules post-hoc over exported series.
+package alerts
+
+import (
+	"fmt"
+
+	"mpr/internal/telemetry/tsdb"
+)
+
+// Op is a comparison operator. For GT rules the bucket's Max is tested
+// (a spike anywhere inside a downsampled bucket still violates); for LT
+// rules the Min is.
+type Op string
+
+const (
+	GT Op = ">"
+	LT Op = "<"
+)
+
+// Rule is one alert rule. Leave WindowSamples zero for a threshold rule
+// (fires on ForSamples consecutive violations); set WindowSamples and
+// BurnFrac for a burn-rate rule (fires when the violating fraction of
+// the trailing WindowSamples exceeds BurnFrac).
+type Rule struct {
+	Name      string            `json:"name"`
+	Series    string            `json:"series"`
+	Match     map[string]string `json:"match,omitempty"`
+	Op        Op                `json:"op"`
+	Threshold float64           `json:"threshold"`
+	// ForSamples is the consecutive-violation count a threshold rule
+	// needs before firing (minimum 1).
+	ForSamples int `json:"for_samples,omitempty"`
+	// WindowSamples > 0 switches the rule to burn-rate mode.
+	WindowSamples int     `json:"window_samples,omitempty"`
+	BurnFrac      float64 `json:"burn_frac,omitempty"`
+	Help          string  `json:"help,omitempty"`
+}
+
+func (r Rule) String() string {
+	if r.WindowSamples > 0 {
+		return fmt.Sprintf("%s: %s %s %g in >%.0f%% of trailing %d samples",
+			r.Name, r.Series, r.Op, r.Threshold, r.BurnFrac*100, r.WindowSamples)
+	}
+	return fmt.Sprintf("%s: %s %s %g for %d samples",
+		r.Name, r.Series, r.Op, r.Threshold, r.forSamples())
+}
+
+func (r Rule) forSamples() int {
+	if r.ForSamples < 1 {
+		return 1
+	}
+	return r.ForSamples
+}
+
+// violates reports whether one (possibly downsampled) bucket breaks the
+// rule, and the value that broke it.
+func (r Rule) violates(b tsdb.Bucket) (float64, bool) {
+	switch r.Op {
+	case LT:
+		return b.Min, b.Min < r.Threshold
+	default: // GT
+		return b.Max, b.Max > r.Threshold
+	}
+}
+
+// worse reports whether a is a worse violation than b under the rule's
+// direction.
+func (r Rule) worse(a, b float64) bool {
+	if r.Op == LT {
+		return a < b
+	}
+	return a > b
+}
+
+// Firing is one fired alert: the rule, the series that fired it, the
+// violating time range, the worst violating value, and how many samples
+// violated.
+type Firing struct {
+	Rule    string  `json:"rule"`
+	Series  string  `json:"series"`
+	From    int64   `json:"from"`
+	To      int64   `json:"to"`
+	Value   float64 `json:"value"`
+	Samples int     `json:"samples"`
+	Help    string  `json:"help,omitempty"`
+}
+
+func (f Firing) String() string {
+	return fmt.Sprintf("ALERT %s on %s: value %g over [%d,%d] (%d samples)",
+		f.Rule, f.Series, f.Value, f.From, f.To, f.Samples)
+}
+
+// Eval evaluates the rules over already-queried series data and returns
+// every firing, in rule order then series order (deterministic given
+// deterministic input order, as Store.Query provides).
+func Eval(rules []Rule, data []tsdb.SeriesData) []Firing {
+	var out []Firing
+	for _, r := range rules {
+		for _, sd := range data {
+			if sd.Name != r.Series || !matchLabels(r.Match, sd.Labels) {
+				continue
+			}
+			if r.WindowSamples > 0 {
+				if f, ok := r.evalBurn(sd); ok {
+					out = append(out, f)
+				}
+			} else {
+				out = append(out, r.evalThreshold(sd)...)
+			}
+		}
+	}
+	return out
+}
+
+// EvalStore queries the store for each rule's series over [start,end]
+// and evaluates it. End==0 means unbounded.
+func EvalStore(rules []Rule, st *tsdb.Store, start, end int64) []Firing {
+	var out []Firing
+	for _, r := range rules {
+		data := st.Query(tsdb.Query{
+			Name: r.Series, Match: r.Match,
+			Start: start, End: end,
+			Resolution: tsdb.ResAuto,
+		})
+		out = append(out, Eval([]Rule{r}, data)...)
+	}
+	return out
+}
+
+// evalThreshold emits one firing per maximal run of >= ForSamples
+// consecutive violating buckets.
+func (r Rule) evalThreshold(sd tsdb.SeriesData) []Firing {
+	var out []Firing
+	need := r.forSamples()
+	run := 0
+	var worst float64
+	var from int64
+	for i, b := range sd.Points {
+		v, bad := r.violates(b)
+		if bad {
+			if run == 0 {
+				from = b.Start
+				worst = v
+			} else if r.worse(v, worst) {
+				worst = v
+			}
+			run++
+		}
+		if (!bad || i == len(sd.Points)-1) && run >= need {
+			to := b.End
+			if !bad {
+				to = sd.Points[i-1].End
+			}
+			out = append(out, Firing{
+				Rule: r.Name, Series: seriesKey(sd),
+				From: from, To: to, Value: worst, Samples: run, Help: r.Help,
+			})
+		}
+		if !bad {
+			run = 0
+		}
+	}
+	return out
+}
+
+// evalBurn fires when the violating fraction of the trailing
+// WindowSamples buckets exceeds BurnFrac.
+func (r Rule) evalBurn(sd tsdb.SeriesData) (Firing, bool) {
+	pts := sd.Points
+	if len(pts) == 0 {
+		return Firing{}, false
+	}
+	if len(pts) > r.WindowSamples {
+		pts = pts[len(pts)-r.WindowSamples:]
+	}
+	var bad int
+	var worst float64
+	var from, to int64
+	for _, b := range pts {
+		v, isBad := r.violates(b)
+		if !isBad {
+			continue
+		}
+		if bad == 0 {
+			from = b.Start
+			worst = v
+		} else if r.worse(v, worst) {
+			worst = v
+		}
+		to = b.End
+		bad++
+	}
+	if bad == 0 || float64(bad)/float64(len(pts)) <= r.BurnFrac {
+		return Firing{}, false
+	}
+	return Firing{
+		Rule: r.Name, Series: seriesKey(sd),
+		From: from, To: to, Value: worst, Samples: bad, Help: r.Help,
+	}, true
+}
+
+func matchLabels(match, labels map[string]string) bool {
+	for k, v := range match {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func seriesKey(sd tsdb.SeriesData) string {
+	if len(sd.Labels) == 0 {
+		return sd.Name
+	}
+	// Delegate the canonical rendering to a throwaway query-shaped key:
+	// name plus sorted k="v" labels, same shape the store uses.
+	labels := make([]tsdb.Label, 0, len(sd.Labels))
+	for k, v := range sd.Labels {
+		labels = append(labels, tsdb.Label{Key: k, Value: v})
+	}
+	return tsdb.CanonicalKey(sd.Name, labels)
+}
+
+// SimRules are the SLO rules mprbench evaluates over exported simulator
+// series (virtual-time samples, one per 5-minute slot).
+func SimRules() []Rule {
+	return []Rule{
+		{
+			Name: "SustainedOverload", Series: "mpr_sim_overload_w",
+			Op: GT, Threshold: 0, WindowSamples: 60, BurnFrac: 0.5,
+			Help: "cluster power above the oversubscribed cap in most of the trailing 5h — emergencies are not clearing the overload",
+		},
+		{
+			Name: "MarketRoundsRegression", Series: "mpr_sim_market_rounds",
+			Op: GT, Threshold: 48, ForSamples: 1,
+			Help: "an MPR-INT market needed more rounds than the paper's convergence envelope",
+		},
+		{
+			Name: "UnmetReduction", Series: "mpr_sim_reduction_unmet_w",
+			Op: GT, Threshold: 0, ForSamples: 2,
+			Help: "cleared reduction below the emergency target for consecutive slots",
+		},
+	}
+}
+
+// ManagerRules are the rules mprd evaluates live after every market.
+func ManagerRules() []Rule {
+	return []Rule{
+		{
+			Name: "MarketRoundsRegression", Series: "mpr_mgr_market_rounds",
+			Op: GT, Threshold: 40, ForSamples: 1,
+			Help: "a live market needed more clearing rounds than expected",
+		},
+		{
+			Name: "UnmetReduction", Series: "mpr_mgr_market_unmet_w",
+			Op: GT, Threshold: 0, ForSamples: 1,
+			Help: "a live market cleared less reduction than the emergency target",
+		},
+	}
+}

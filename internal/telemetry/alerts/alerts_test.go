@@ -1,0 +1,134 @@
+package alerts
+
+import (
+	"strings"
+	"testing"
+
+	"mpr/internal/telemetry/tsdb"
+)
+
+func rawSeries(name string, labels map[string]string, vals []float64) tsdb.SeriesData {
+	pts := make([]tsdb.Bucket, len(vals))
+	for i, v := range vals {
+		pts[i] = tsdb.Bucket{Start: int64(i), End: int64(i), Min: v, Max: v, Sum: v, Count: 1}
+	}
+	return tsdb.SeriesData{Name: name, Labels: labels, Resolution: "raw", Points: pts}
+}
+
+func TestThresholdRuleConsecutiveRuns(t *testing.T) {
+	rule := Rule{Name: "Unmet", Series: "u", Op: GT, Threshold: 0, ForSamples: 2}
+	// Run of 1 (ignored), run of 3 (fires), trailing run of 2 (fires at
+	// series end without a terminating clean sample).
+	data := []tsdb.SeriesData{rawSeries("u", nil,
+		[]float64{0, 5, 0, 1, 2, 3, 0, 0, 7, 9})}
+	f := Eval([]Rule{rule}, data)
+	if len(f) != 2 {
+		t.Fatalf("firings = %+v, want 2", f)
+	}
+	if f[0].From != 3 || f[0].To != 5 || f[0].Value != 3 || f[0].Samples != 3 {
+		t.Fatalf("first firing = %+v", f[0])
+	}
+	if f[1].From != 8 || f[1].To != 9 || f[1].Value != 9 || f[1].Samples != 2 {
+		t.Fatalf("trailing firing = %+v", f[1])
+	}
+}
+
+func TestThresholdRuleLTUsesMin(t *testing.T) {
+	rule := Rule{Name: "LowPrice", Series: "p", Op: LT, Threshold: 0.1}
+	// A downsampled bucket whose Min dips below threshold fires even
+	// though its Max does not.
+	data := []tsdb.SeriesData{{Name: "p", Points: []tsdb.Bucket{
+		{Start: 0, End: 9, Min: 0.05, Max: 0.9, Count: 10},
+	}}}
+	f := Eval([]Rule{rule}, data)
+	if len(f) != 1 || f[0].Value != 0.05 {
+		t.Fatalf("firings = %+v", f)
+	}
+}
+
+func TestBurnRateRule(t *testing.T) {
+	rule := Rule{Name: "Sustained", Series: "ov", Op: GT, Threshold: 0,
+		WindowSamples: 10, BurnFrac: 0.5}
+	// 4/10 violating in the trailing window: below the 50% burn.
+	vals := []float64{1, 1, 1, 1, 1, 1, 0, 0, 1, 1, 0, 0, 1, 1, 0, 0}
+	if f := Eval([]Rule{rule}, []tsdb.SeriesData{rawSeries("ov", nil, vals)}); len(f) != 0 {
+		t.Fatalf("4/10 burn fired: %+v", f)
+	}
+	// 6/10 violating: fires, worst value and violating range reported.
+	vals = []float64{0, 0, 0, 0, 0, 0, 2, 3, 9, 1, 0, 1, 1, 0, 0, 0}
+	f := Eval([]Rule{rule}, []tsdb.SeriesData{rawSeries("ov", nil, vals)})
+	if len(f) != 1 {
+		t.Fatalf("6/10 burn did not fire: %+v", f)
+	}
+	if f[0].Samples != 6 || f[0].Value != 9 || f[0].From != 6 || f[0].To != 12 {
+		t.Fatalf("firing = %+v", f[0])
+	}
+	// Only the trailing window counts: a series that violated long ago
+	// but is clean now stays quiet.
+	vals = append([]float64{9, 9, 9, 9, 9, 9, 9, 9, 9, 9}, make([]float64, 10)...)
+	if f := Eval([]Rule{rule}, []tsdb.SeriesData{rawSeries("ov", nil, vals)}); len(f) != 0 {
+		t.Fatalf("stale violations fired: %+v", f)
+	}
+}
+
+func TestRuleMatcherAndSeriesNaming(t *testing.T) {
+	rule := Rule{Name: "R", Series: "m", Match: map[string]string{"algo": "int"},
+		Op: GT, Threshold: 1}
+	data := []tsdb.SeriesData{
+		rawSeries("m", map[string]string{"algo": "int"}, []float64{5}),
+		rawSeries("m", map[string]string{"algo": "stat"}, []float64{5}),
+		rawSeries("other", nil, []float64{5}),
+	}
+	f := Eval([]Rule{rule}, data)
+	if len(f) != 1 {
+		t.Fatalf("firings = %+v, want only the matching series", f)
+	}
+	if want := `m{algo="int"}`; f[0].Series != want {
+		t.Fatalf("series = %q, want %q", f[0].Series, want)
+	}
+	if !strings.Contains(f[0].String(), "ALERT R") {
+		t.Fatalf("String() = %q", f[0].String())
+	}
+}
+
+func TestEvalStoreWindow(t *testing.T) {
+	st := tsdb.New(128)
+	s := st.Series("mpr_sim_reduction_unmet_w")
+	for i := 0; i < 50; i++ {
+		v := 0.0
+		if i >= 30 && i < 35 {
+			v = 100
+		}
+		s.Append(int64(i), v)
+	}
+	rules := []Rule{{Name: "Unmet", Series: "mpr_sim_reduction_unmet_w",
+		Op: GT, Threshold: 0, ForSamples: 2}}
+	f := EvalStore(rules, st, 0, 0)
+	if len(f) != 1 || f[0].From != 30 || f[0].To != 34 || f[0].Samples != 5 {
+		t.Fatalf("firings = %+v", f)
+	}
+	// Restricting the window past the violation silences it.
+	if f := EvalStore(rules, st, 40, 0); len(f) != 0 {
+		t.Fatalf("windowed eval fired: %+v", f)
+	}
+	// Nil store is quiet.
+	if f := EvalStore(rules, nil, 0, 0); len(f) != 0 {
+		t.Fatalf("nil store fired: %+v", f)
+	}
+}
+
+func TestDefaultRuleSetsAreWellFormed(t *testing.T) {
+	for _, rules := range [][]Rule{SimRules(), ManagerRules()} {
+		for _, r := range rules {
+			if r.Name == "" || r.Series == "" {
+				t.Fatalf("malformed rule %+v", r)
+			}
+			if r.WindowSamples > 0 && (r.BurnFrac <= 0 || r.BurnFrac >= 1) {
+				t.Fatalf("burn rule %s has bad fraction %g", r.Name, r.BurnFrac)
+			}
+			if r.String() == "" {
+				t.Fatalf("rule %s has empty String()", r.Name)
+			}
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
 	"html"
 	"net/http"
+	httppprof "net/http/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -12,32 +14,159 @@ import (
 // debugMarketEvents is how many trace events the debug page renders.
 const debugMarketEvents = 64
 
-// Handler returns the observability HTTP surface over a registry and a
-// tracer:
+// Health is the /healthz payload: daemon uptime, connected agents, and
+// sampling freshness. LastSampleAgeSeconds is negative when no sampler
+// has fired yet (or none is wired).
+type Health struct {
+	Status               string  `json:"status"`
+	UptimeSeconds        float64 `json:"uptime_seconds"`
+	AgentsConnected      int     `json:"agents_connected"`
+	LastSampleAgeSeconds float64 `json:"last_sample_age_seconds"`
+}
+
+// HandlerConfig wires the observability HTTP surface. Every field is
+// optional; endpoints without a backing component serve empty (but
+// valid) documents or are left unmounted.
+type HandlerConfig struct {
+	// Registry backs /metrics (Prometheus text, or JSON with
+	// ?format=json).
+	Registry *Registry
+	// Tracer backs /debug/market (events + dropped count) and
+	// /debug/spans.
+	Tracer *Tracer
+	// Series, when set, is mounted at /debug/series — the tsdb window
+	// query handler (kept as a plain http.Handler so telemetry does not
+	// depend on its own subpackage).
+	Series http.Handler
+	// Health, when set, backs /healthz.
+	Health func() Health
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// NewHandler returns the observability HTTP surface:
 //
-//	/metrics       Prometheus text exposition format
-//	/debug/market  human-readable last clearing rounds from the trace ring
+//	/metrics        Prometheus text exposition (?format=json for JSON)
+//	/debug/market   last clearing rounds (?format=json for JSON + dropped count)
+//	/debug/spans    completed hierarchical spans, JSON
+//	/debug/series   windowed time-series queries (when Series is wired)
+//	/healthz        uptime / agents / sample freshness (when Health is wired)
+//	/debug/pprof/*  net/http/pprof (when Pprof is set)
 //
-// Either argument may be nil; the corresponding endpoint then serves an
-// empty (but valid) document. mprd mounts this under its -metrics flag.
-func Handler(r *Registry, t *Tracer) http.Handler {
+// mprd mounts this under its -metrics flag.
+func NewHandler(cfg HandlerConfig) http.Handler {
+	r, t := cfg.Registry, cfg.Tracer
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.FormValue("format") == "json" {
+			writeMetricsJSON(w, r)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})
-	mux.HandleFunc("/debug/market", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/debug/market", func(w http.ResponseWriter, req *http.Request) {
+		if req.FormValue("format") == "json" {
+			writeJSON(w, struct {
+				DroppedEvents uint64  `json:"dropped_events"`
+				Events        []Event `json:"events"`
+			}{t.Dropped(), nonNilEvents(t.Last(debugMarketEvents))})
+			return
+		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		writeDebugMarket(w, r, t)
 	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
+		spans := t.Spans()
+		if spans == nil {
+			spans = []Span{}
+		}
+		writeJSON(w, struct {
+			Spans []Span `json:"spans"`
+		}{spans})
+	})
+	if cfg.Series != nil {
+		mux.Handle("/debug/series", cfg.Series)
+	}
+	if cfg.Health != nil {
+		health := cfg.Health
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, health())
+		})
+	}
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, `<html><body><a href="/metrics">/metrics</a> · <a href="/debug/market">/debug/market</a></body></html>`)
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		links := []string{"/metrics", "/debug/market", "/debug/spans"}
+		if cfg.Series != nil {
+			links = append(links, "/debug/series")
+		}
+		if cfg.Health != nil {
+			links = append(links, "/healthz")
+		}
+		if cfg.Pprof {
+			links = append(links, "/debug/pprof/")
+		}
+		var b strings.Builder
+		b.WriteString("<html><body>")
+		for i, l := range links {
+			if i > 0 {
+				b.WriteString(" · ")
+			}
+			fmt.Fprintf(&b, `<a href="%s">%s</a>`, l, l)
+		}
+		b.WriteString("</body></html>")
+		fmt.Fprint(w, b.String())
 	})
 	return mux
+}
+
+// Handler returns the surface over just a registry and a tracer — the
+// pre-tsdb signature, kept because mprd's tests and library users mount
+// it directly. Either argument may be nil.
+func Handler(r *Registry, t *Tracer) http.Handler {
+	return NewHandler(HandlerConfig{Registry: r, Tracer: t})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func nonNilEvents(evs []Event) []Event {
+	if evs == nil {
+		return []Event{}
+	}
+	return evs
+}
+
+// writeMetricsJSON renders the registry snapshot as JSON — the
+// machine-readable sibling of the Prometheus text form. Map keys are
+// sorted by encoding/json, so the document is deterministic.
+func writeMetricsJSON(w http.ResponseWriter, r *Registry) {
+	s := r.Snapshot()
+	if s == nil {
+		s = &Snapshot{
+			Counters:   map[string]int64{},
+			Gauges:     map[string]float64{},
+			Histograms: map[string]HistogramSnapshot{},
+		}
+	}
+	writeJSON(w, struct {
+		Counters   map[string]int64             `json:"counters"`
+		Gauges     map[string]float64           `json:"gauges"`
+		Histograms map[string]HistogramSnapshot `json:"histograms"`
+	}{s.Counters, s.Gauges, s.Histograms})
 }
 
 func writeDebugMarket(w http.ResponseWriter, r *Registry, t *Tracer) {
@@ -47,6 +176,7 @@ func writeDebugMarket(w http.ResponseWriter, r *Registry, t *Tracer) {
 
 	events := t.Last(debugMarketEvents)
 	fmt.Fprintf(&b, "<h2>Last %d clearing-round events</h2>\n", len(events))
+	fmt.Fprintf(&b, "<p>events dropped by the ring: %d</p>\n", t.Dropped())
 	b.WriteString("<table border=\"1\" cellpadding=\"3\">\n")
 	b.WriteString("<tr><th>seq</th><th>time</th><th>trace</th><th>event</th><th>slot</th><th>round</th><th>price</th><th>target W</th><th>supplied W</th><th>value</th><th>label</th></tr>\n")
 	for i := len(events) - 1; i >= 0; i-- { // newest first

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -76,6 +77,131 @@ func TestHandlerDebugMarketEndpoint(t *testing.T) {
 	// Newest event renders first.
 	if strings.Index(body, "market_clear") > strings.Index(body, "int_round") {
 		t.Fatal("/debug/market must render newest events first")
+	}
+}
+
+func TestHandlerMetricsJSONFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mpr_mgr_markets_total", "").Add(3)
+	r.Gauge("mpr_power_budget_w", "").Set(125000)
+	res, body := serveGet(t, Handler(r, nil), "/metrics?format=json")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var doc struct {
+		Counters   map[string]int64   `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if doc.Counters["mpr_mgr_markets_total"] != 3 || doc.Gauges["mpr_power_budget_w"] != 125000 {
+		t.Fatalf("doc = %+v", doc)
+	}
+}
+
+func TestHandlerDebugMarketJSONDropped(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 20; i++ { // 4 past capacity
+		tr.Emit(Event{Name: "int_round", Round: i})
+	}
+	res, body := serveGet(t, Handler(nil, tr), "/debug/market?format=json")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	var doc struct {
+		DroppedEvents uint64  `json:"dropped_events"`
+		Events        []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if doc.DroppedEvents != 4 {
+		t.Fatalf("dropped_events = %d, want 4", doc.DroppedEvents)
+	}
+	if len(doc.Events) != 16 || doc.Events[0].Round != 4 {
+		t.Fatalf("events = %d, first round = %d", len(doc.Events), doc.Events[0].Round)
+	}
+	// The HTML form surfaces the same count.
+	_, html := serveGet(t, Handler(nil, tr), "/debug/market")
+	if !strings.Contains(html, "dropped by the ring: 4") {
+		t.Fatal("HTML debug page must show the dropped count")
+	}
+}
+
+func TestHandlerSpansEndpoint(t *testing.T) {
+	tr := NewTracer(16)
+	em := tr.StartSpan("emergency", nil)
+	em.StartChild("market_round").End()
+	em.End()
+	res, body := serveGet(t, Handler(nil, tr), "/debug/spans")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	var doc struct {
+		Spans []Span `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if len(doc.Spans) != 2 || doc.Spans[1].Name != "emergency" || doc.Spans[0].Parent != doc.Spans[1].ID {
+		t.Fatalf("spans = %+v", doc.Spans)
+	}
+}
+
+func TestHandlerHealthzAndSeriesMounts(t *testing.T) {
+	series := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"series":[]}`))
+	})
+	h := NewHandler(HandlerConfig{
+		Series: series,
+		Health: func() Health {
+			return Health{Status: "ok", UptimeSeconds: 12.5, AgentsConnected: 3, LastSampleAgeSeconds: 0.25}
+		},
+		Pprof: true,
+	})
+	res, body := serveGet(t, h, "/healthz")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d", res.StatusCode)
+	}
+	var hz Health
+	if err := json.Unmarshal([]byte(body), &hz); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if hz.Status != "ok" || hz.AgentsConnected != 3 {
+		t.Fatalf("health = %+v", hz)
+	}
+	if res, _ := serveGet(t, h, "/debug/series"); res.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/series status = %d", res.StatusCode)
+	}
+	if res, body := serveGet(t, h, "/debug/pprof/cmdline"); res.StatusCode != http.StatusOK || body == "" {
+		t.Fatalf("/debug/pprof/cmdline status = %d", res.StatusCode)
+	}
+	// Index advertises every mounted endpoint.
+	if _, body := serveGet(t, h, "/"); !strings.Contains(body, "/healthz") ||
+		!strings.Contains(body, "/debug/series") || !strings.Contains(body, "/debug/pprof/") {
+		t.Fatal("index must link optional endpoints when mounted")
+	}
+	// Unmounted optional endpoints 404 and are not advertised.
+	bare := Handler(nil, nil)
+	if res, _ := serveGet(t, bare, "/healthz"); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("bare /healthz status = %d", res.StatusCode)
+	}
+	if _, body := serveGet(t, bare, "/"); strings.Contains(body, "/healthz") {
+		t.Fatal("bare index must not advertise /healthz")
+	}
+}
+
+func TestHandlerIndexContentType(t *testing.T) {
+	res, _ := serveGet(t, Handler(nil, nil), "/")
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("index content type = %q", ct)
 	}
 }
 

@@ -323,10 +323,10 @@ func (r *Registry) GaugeValue(name string) float64 {
 type HistogramSnapshot struct {
 	// Bounds are the bucket upper bounds; Counts has one entry per bound
 	// plus the +Inf overflow bucket and is NOT cumulative.
-	Bounds []float64
-	Counts []int64
-	Sum    float64
-	Count  int64
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
 }
 
 // Mean returns the average observation (0 when empty).

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"context"
+	"runtime/pprof"
+	"time"
+)
+
+// Attr is one span attribute. Attributes are an ordered list rather
+// than a map so span renderings are deterministic.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one finished hierarchical trace span: a named wall-clock
+// interval with a parent link, so an emergency span can contain its
+// market-round and RespondBid child spans. Completed spans live in the
+// tracer's span ring and render at /debug/spans.
+type Span struct {
+	// ID is the tracer-assigned span identifier (monotonic per tracer,
+	// assigned at start); Parent is the enclosing span's ID (0 = root).
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Name is the span type, e.g. "emergency", "market", "market_round",
+	// "respond_bids".
+	Name string `json:"name"`
+	// StartNS and EndNS are wall-clock Unix nanoseconds.
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// Attrs carry free-form span annotations (slot, target, rounds, …).
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Duration returns the span's wall-clock length.
+func (s Span) Duration() time.Duration {
+	return time.Duration(s.EndNS - s.StartNS)
+}
+
+// ActiveSpan is an in-flight span handle. A nil *ActiveSpan is a no-op
+// (the handle the nil tracer gives out), so instrumented code never
+// branches on configuration.
+type ActiveSpan struct {
+	t    *Tracer
+	span Span
+}
+
+// StartSpan opens a span under the given parent (nil = root). The span
+// is recorded into the tracer's span ring when End is called; spans
+// abandoned without End are dropped. Nil tracer returns the nil handle.
+func (t *Tracer) StartSpan(name string, parent *ActiveSpan) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.spanSeq++
+	id := t.spanSeq
+	t.mu.Unlock()
+	s := &ActiveSpan{t: t, span: Span{ID: id, Name: name, StartNS: time.Now().UnixNano()}}
+	if parent != nil {
+		s.span.Parent = parent.span.ID
+	}
+	return s
+}
+
+// ID returns the span's identifier (0 for nil).
+func (s *ActiveSpan) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.span.ID
+}
+
+// SetAttr annotates the span. No-op on a nil handle.
+func (s *ActiveSpan) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.span.Attrs = append(s.span.Attrs, Attr{Key: key, Value: value})
+}
+
+// StartChild opens a child span under this one. On a nil handle the
+// child is nil too, so an uninstrumented call tree stays free.
+func (s *ActiveSpan) StartChild(name string) *ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	return s.t.StartSpan(name, s)
+}
+
+// End stamps the span's end time and records it in the tracer's span
+// ring. Ending twice records twice; don't. No-op on a nil handle.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.span.EndNS = time.Now().UnixNano()
+	t := s.t
+	t.mu.Lock()
+	if len(t.spanRing) < cap(t.spanRing) {
+		t.spanRing = append(t.spanRing, s.span)
+	} else {
+		t.spanRing[int(t.spanDone%uint64(cap(t.spanRing)))] = s.span
+		t.droppedSpans++
+	}
+	t.spanDone++
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the retained completed spans in completion
+// order. Nil tracer returns nil.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.spanRing)
+	out := make([]Span, 0, n)
+	start := t.spanDone - uint64(n)
+	for i := uint64(0); i < uint64(n); i++ {
+		out = append(out, t.spanRing[int((start+i)%uint64(cap(t.spanRing)))])
+	}
+	return out
+}
+
+// WithPprofLabels runs f with the "mpr_span" profiler label set, so CPU
+// profiles taken from /debug/pprof attribute samples to the span that
+// was executing — the engine and the agentproto fan-out call this on
+// span boundaries (goroutines started inside f inherit the label).
+func WithPprofLabels(name string, f func()) {
+	pprof.Do(context.Background(), pprof.Labels("mpr_span", name), func(context.Context) {
+		f()
+	})
+}

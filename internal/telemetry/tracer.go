@@ -43,11 +43,20 @@ type Event struct {
 // every event as one JSON line for offline analysis (the sink path
 // allocates; the ring path does not). A nil *Tracer is the Nop tracer.
 type Tracer struct {
-	mu   sync.Mutex
-	ring []Event
-	seq  uint64
-	sink io.Writer
-	enc  *json.Encoder
+	mu      sync.Mutex
+	ring    []Event
+	seq     uint64
+	dropped uint64 // events overwritten before ever being read
+	sink    io.Writer
+	enc     *json.Encoder
+
+	// Hierarchical spans (see span.go) share the tracer but keep their
+	// own ring — span lifecycles are much longer than event emissions
+	// and must not evict clearing-round events.
+	spanRing     []Span
+	spanSeq      uint64 // span IDs, assigned at StartSpan
+	spanDone     uint64 // completed spans, indexes the ring
+	droppedSpans uint64
 }
 
 // NewTracer builds a tracer retaining the last size events (minimum 16,
@@ -59,7 +68,10 @@ func NewTracer(size int) *Tracer {
 	if size < 16 {
 		size = 16
 	}
-	return &Tracer{ring: make([]Event, 0, size)}
+	return &Tracer{
+		ring:     make([]Event, 0, size),
+		spanRing: make([]Span, 0, size),
+	}
 }
 
 // SetSink attaches a JSONL sink receiving every subsequent event.
@@ -94,6 +106,7 @@ func (t *Tracer) Emit(e Event) {
 		t.ring = append(t.ring, e)
 	} else {
 		t.ring[int((t.seq-1)%uint64(cap(t.ring)))] = e
+		t.dropped++
 	}
 	enc := t.enc
 	t.mu.Unlock()
@@ -101,6 +114,18 @@ func (t *Tracer) Emit(e Event) {
 		// Best-effort: a broken sink must not take the market down.
 		_ = enc.Encode(e)
 	}
+}
+
+// Dropped returns how many events the ring has overwritten — the
+// overflow-observability counter behind /debug/market's dropped-count
+// field and mprd's events_dropped metric. 0 on a nil tracer.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Len returns the number of events currently retained.

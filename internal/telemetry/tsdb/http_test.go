@@ -1,0 +1,94 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+type seriesResponse struct {
+	Series []SeriesData `json:"series"`
+}
+
+func getSeries(t *testing.T, h http.Handler, path string) (*http.Response, seriesResponse) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out seriesResponse
+	if res.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("bad JSON %q: %v", body, err)
+		}
+	}
+	return res, out
+}
+
+func TestSeriesHandler(t *testing.T) {
+	st := New(64)
+	p := st.Series("mpr_sim_power_demand_w", Label{Key: "algo", Value: "MPR-INT"})
+	for i := 0; i < 50; i++ {
+		p.Append(int64(i), 1000+float64(i))
+	}
+	st.Series("other").Append(1, 2)
+	h := Handler(st)
+
+	res, out := getSeries(t, h, "/debug/series?name=mpr_sim_power_demand_w&res=raw&start=10&end=19")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("content type = %q", ct)
+	}
+	if len(out.Series) != 1 {
+		t.Fatalf("series = %d", len(out.Series))
+	}
+	sd := out.Series[0]
+	if sd.Resolution != "raw" || len(sd.Points) != 10 || sd.Labels["algo"] != "MPR-INT" {
+		t.Fatalf("window = %+v", sd)
+	}
+	if sd.Points[0].Start != 10 || sd.Points[9].End != 19 {
+		t.Fatalf("bounds = %+v .. %+v", sd.Points[0], sd.Points[9])
+	}
+
+	// Downsampled window: 10× buckets.
+	_, out = getSeries(t, h, "/debug/series?name=mpr_sim_power_demand_w&res=10x")
+	if got := out.Series[0]; got.Resolution != "10x" || len(got.Points) != 5 {
+		t.Fatalf("10x = %+v", got)
+	}
+
+	// Label matcher.
+	_, out = getSeries(t, h, "/debug/series?match=algo%3DMPR-INT")
+	if len(out.Series) != 1 || out.Series[0].Name != "mpr_sim_power_demand_w" {
+		t.Fatalf("matcher = %+v", out.Series)
+	}
+
+	// max_points thins.
+	_, out = getSeries(t, h, "/debug/series?name=mpr_sim_power_demand_w&res=raw&max_points=4")
+	if n := len(out.Series[0].Points); n > 4 {
+		t.Fatalf("max_points ignored: %d points", n)
+	}
+
+	// Bad parameters are 400s, not panics.
+	for _, path := range []string{
+		"/debug/series?start=abc",
+		"/debug/series?end=x",
+		"/debug/series?max_points=0",
+		"/debug/series?match=nokey",
+	} {
+		if res, _ := getSeries(t, h, path); res.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s status = %d, want 400", path, res.StatusCode)
+		}
+	}
+
+	// Nil store serves an empty but valid document.
+	if res, out := getSeries(t, Handler(nil), "/debug/series"); res.StatusCode != http.StatusOK || out.Series == nil || len(out.Series) != 0 {
+		t.Fatalf("nil store: status=%d series=%v", res.StatusCode, out.Series)
+	}
+}
