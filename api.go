@@ -61,12 +61,14 @@ const (
 // ClearMode selects the MClr solver implementation.
 type ClearMode = core.ClearMode
 
-// MClr solver modes: the closed-form segmented solver (default) and the
-// legacy bisection search retained as a cross-check.
+// MClr solver modes: the closed-form segmented solver (default), the
+// legacy bisection search retained as a cross-check, and the streaming
+// treap engine (same prices, solved incrementally).
 const (
 	ClearAuto       = core.ClearAuto
 	ClearClosedForm = core.ClearClosedForm
 	ClearBisection  = core.ClearBisection
+	ClearStreaming  = core.ClearStreaming
 )
 
 // MarketIndex is the reusable MClr fast path: activation-sorted prefix
@@ -77,6 +79,26 @@ type MarketIndex = core.MarketIndex
 // current bids.
 func NewMarketIndex(ps []*Participant) (*MarketIndex, error) {
 	return core.NewMarketIndex(ps)
+}
+
+// StreamMarket is the continuously-clearing market core: an
+// order-statistic treap over activation prices giving O(log M) bid
+// updates with an immediate re-clear after each one, at zero steady-state
+// allocations. Prices match the batch solvers to within float summation
+// order.
+type StreamMarket = core.StreamMarket
+
+// ParticipantDelta is one streamed market mutation: a bid update, a new
+// participant, or a removal.
+type ParticipantDelta = core.ParticipantDelta
+
+// ParticipantRangeError reports a participant index outside the market.
+type ParticipantRangeError = core.ParticipantRangeError
+
+// NewStreamMarket builds a continuously-clearing market over the
+// participants' current bids.
+func NewStreamMarket(ps []*Participant, targetW float64) (*StreamMarket, error) {
+	return core.NewStreamMarket(ps, targetW)
 }
 
 // Clear runs the one-shot MPR-STAT market: minimal clearing price whose

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"mpr/internal/core"
 	"mpr/internal/experiments"
@@ -114,7 +115,7 @@ func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
 
 // --- Market hot-path micro-benchmarks ------------------------------------
 
-func benchPool(b *testing.B, n int) ([]*core.Participant, []core.Bidder, float64) {
+func benchPool(b testing.TB, n int) ([]*core.Participant, []core.Bidder, float64) {
 	b.Helper()
 	profiles := perf.CPUProfiles()
 	parts := make([]*core.Participant, n)
@@ -230,6 +231,210 @@ func TestClearIntoSteadyZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state ClearInto with Nop registry allocates: %v allocs/op", allocs)
+	}
+}
+
+// --- Streaming incremental clears (DESIGN.md §11) ------------------------
+
+// benchStreamBids precomputes, for every participant, its build-time bid
+// and an alternate with the activation price doubled. Toggling between
+// the two moves the participant past roughly half the pool in activation
+// order — the worst case for the batch index (every update forces a full
+// re-sort) and the logarithmic case for the treap.
+func benchStreamBids(parts []*core.Participant) (orig, alt []core.Bid) {
+	orig = make([]core.Bid, len(parts))
+	alt = make([]core.Bid, len(parts))
+	for i, p := range parts {
+		orig[i] = p.Bid
+		alt[i] = core.Bid{Delta: p.Bid.Delta, B: 2 * p.Bid.B}
+	}
+	return orig, alt
+}
+
+// benchStreamApply measures one streamed bid update — treap delete +
+// re-insert at the new activation price + full re-clear — on a market of
+// n participants. Zero allocations per update.
+func benchStreamApply(b *testing.B, n int) {
+	parts, _, target := benchPool(b, n)
+	sm, err := core.NewStreamMarket(parts, target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	orig, alt := benchStreamBids(parts)
+	core.Instrument(telemetry.Nop())
+	defer core.Instrument(telemetry.Default())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % n
+		bid := alt[j]
+		if (i/n)%2 == 1 {
+			bid = orig[j]
+		}
+		if _, _, err := sm.Apply(core.ParticipantDelta{Index: j, Bid: bid}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchBatchUpdate is the pre-streaming cost of the same update: mutate
+// one bid, re-sort the activation order, rebuild the prefix sums, and
+// re-clear from scratch. The ratio against benchStreamApply is the
+// headline number of the streaming engine (gated ≥100× at 100k below).
+func benchBatchUpdate(b *testing.B, n int) {
+	parts, _, target := benchPool(b, n)
+	ix, err := core.NewMarketIndex(parts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	orig, alt := benchStreamBids(parts)
+	var res core.ClearingResult
+	core.Instrument(telemetry.Nop())
+	defer core.Instrument(telemetry.Default())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % n
+		bid := alt[j]
+		if (i/n)%2 == 1 {
+			bid = orig[j]
+		}
+		if err := ix.SetBid(j, bid); err != nil {
+			b.Fatal(err)
+		}
+		ix.Refresh()
+		if err := ix.ClearInto(&res, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Streamed update latency vs market size — O(log M), so the three sizes
+// should be within a small constant of each other.
+func BenchmarkStreamApply1000(b *testing.B)    { benchStreamApply(b, 1000) }
+func BenchmarkStreamApply100000(b *testing.B)  { benchStreamApply(b, 100000) }
+func BenchmarkStreamApply1000000(b *testing.B) { benchStreamApply(b, 1000000) }
+
+// The batch counterpart at the gated size, for manual comparison runs.
+func BenchmarkBatchUpdate100000(b *testing.B) { benchBatchUpdate(b, 100000) }
+
+// TestStreamApplySpeedup is the CI-enforced acceptance gate of the
+// streaming engine: on a 100k-participant market, a streamed
+// activation-order-changing update must be at least 100× faster than the
+// batch SetBid+Refresh+ClearInto path it replaces, and must not allocate.
+// In practice the ratio is in the thousands (an O(log M) treap update vs
+// an O(M log M) re-sort plus O(M) rebuild), so the 100× floor holds with
+// a wide margin even on noisy shared runners. Both sides are timed over
+// one shared pool rather than through testing.Benchmark, whose b.N ramp
+// would rebuild the 100k pool several times and dominate the wall clock.
+func TestStreamApplySpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-based gate; skipped in -short")
+	}
+	const n = 100000
+	parts, _, target := benchPool(t, n)
+	orig, alt := benchStreamBids(parts)
+	pick := func(i int) core.Bid {
+		if (i/n)%2 == 1 {
+			return orig[i%n]
+		}
+		return alt[i%n]
+	}
+	core.Instrument(telemetry.Nop())
+	defer core.Instrument(telemetry.Default())
+
+	sm, err := core.NewStreamMarket(parts, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 0
+	apply := func() {
+		if _, _, err := sm.Apply(core.ParticipantDelta{Index: step % n, Bid: pick(step)}); err != nil {
+			t.Fatal(err)
+		}
+		step++
+	}
+	if allocs := testing.AllocsPerRun(100, apply); allocs != 0 {
+		t.Errorf("streamed update allocates: %v allocs/op", allocs)
+	}
+	const streamOps = 50000
+	startStream := time.Now()
+	for i := 0; i < streamOps; i++ {
+		apply()
+	}
+	streamNs := float64(time.Since(startStream).Nanoseconds()) / streamOps
+
+	ix, err := core.NewMarketIndex(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res core.ClearingResult
+	const batchOps = 200
+	startBatch := time.Now()
+	for i := 0; i < batchOps; i++ {
+		if err := ix.SetBid(i%n, pick(i)); err != nil {
+			t.Fatal(err)
+		}
+		ix.Refresh()
+		if err := ix.ClearInto(&res, target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batchNs := float64(time.Since(startBatch).Nanoseconds()) / batchOps
+
+	ratio := batchNs / streamNs
+	t.Logf("batch %.0f ns/update, stream %.0f ns/update: %.0f× speedup", batchNs, streamNs, ratio)
+	if ratio < 100 {
+		t.Fatalf("streamed update only %.1f× faster than batch (want ≥100×): batch %.0f ns, stream %.0f ns",
+			ratio, batchNs, streamNs)
+	}
+}
+
+// TestStreamApplySteadyZeroAlloc is the top-level twin of the core
+// package's zero-alloc test, wired exactly like TestClearIntoSteadyZeroAlloc:
+// with the Nop registry installed, a streamed update plus a re-clear into
+// a reused result must not allocate.
+func TestStreamApplySteadyZeroAlloc(t *testing.T) {
+	profiles := perf.CPUProfiles()
+	parts := make([]*core.Participant, 1024)
+	var maxW float64
+	for i := range parts {
+		prof := profiles[i%len(profiles)]
+		model := perf.NewCostModel(prof, 1, perf.CostLinear)
+		parts[i] = &core.Participant{
+			JobID:        fmt.Sprintf("j%d", i),
+			Cores:        8,
+			Bid:          core.CooperativeBid(8, model),
+			WattsPerCore: 125,
+			MaxFrac:      prof.MaxReduction(),
+		}
+		maxW += parts[i].WattsPerCore * parts[i].Bid.Delta
+	}
+	sm, err := core.NewStreamMarket(parts, 0.4*maxW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, alt := benchStreamBids(parts)
+	core.Instrument(telemetry.Nop())
+	defer core.Instrument(telemetry.Default())
+	var res core.ClearingResult
+	n := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		j := n % len(parts)
+		bid := alt[j]
+		if (n/len(parts))%2 == 1 {
+			bid = orig[j]
+		}
+		n++
+		if _, _, err := sm.Apply(core.ParticipantDelta{Index: j, Bid: bid}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sm.ClearInto(&res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state streamed update with Nop registry allocates: %v allocs/op", allocs)
 	}
 }
 

@@ -25,6 +25,9 @@
 // (-parallel; 0 = GOMAXPROCS, 1 = serial). Tables are bit-identical at
 // any worker count — see DESIGN.md §9 for the determinism contract.
 // -benchout writes a machine-readable per-experiment wall-clock report.
+// -stream additionally sweeps the streaming-clear engine (DESIGN.md §11)
+// across market sizes and records sustained update throughput in the
+// report's "stream" section.
 package main
 
 import (
@@ -45,15 +48,20 @@ import (
 // benchReport is the -benchout JSON schema: enough context to compare
 // runs across machines and worker counts.
 type benchReport struct {
-	Schema       string           `json:"schema"`
-	GoVersion    string           `json:"go_version"`
-	GOMAXPROCS   int              `json:"gomaxprocs"`
-	Workers      int              `json:"workers"`
-	Seed         int64            `json:"seed"`
-	Quick        bool             `json:"quick"`
-	Experiments  []benchExpReport `json:"experiments"`
-	TotalSeconds float64          `json:"total_seconds"`
+	Schema       string              `json:"schema"`
+	GoVersion    string              `json:"go_version"`
+	GOMAXPROCS   int                 `json:"gomaxprocs"`
+	Workers      int                 `json:"workers"`
+	Seed         int64               `json:"seed"`
+	Quick        bool                `json:"quick"`
+	Experiments  []benchExpReport    `json:"experiments"`
+	Stream       []benchStreamReport `json:"stream,omitempty"`
+	TotalSeconds float64             `json:"total_seconds"`
 }
+
+// benchSchema names the -benchout JSON schema. v2 added the optional
+// "stream" section (streaming-clear update throughput).
+const benchSchema = "mprbench/sweep/v2"
 
 type benchExpReport struct {
 	ID      string  `json:"id"`
@@ -70,6 +78,7 @@ func main() {
 		format   = flag.String("format", "text", "output format: text or markdown")
 		parallel = flag.Int("parallel", 0, "sweep worker-pool bound: 0 = GOMAXPROCS, 1 = serial, n > 1 = up to n concurrent cells (tables are identical at any setting)")
 		benchout = flag.String("benchout", "", "write a machine-readable wall-clock report (JSON) to this file")
+		stream   = flag.Bool("stream", false, "sweep the streaming-clear engine's update throughput and include it in -benchout")
 		series   = flag.String("series", "", "export the instrumented timeline run's per-slot series to this file (.csv = CSV, else JSONL) and evaluate the SLO alert rules over it")
 	)
 	flag.Parse()
@@ -104,7 +113,7 @@ func main() {
 		workers = runner.DefaultWorkers()
 	}
 	report := benchReport{
-		Schema:     "mprbench/sweep/v1",
+		Schema:     benchSchema,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    workers,
@@ -142,6 +151,10 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+	if *stream {
+		report.Stream = runStreamBench()
+		fmt.Println(streamTable(report.Stream))
 	}
 	report.TotalSeconds = time.Since(suiteStart).Seconds()
 

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"mpr/internal/core"
+	"mpr/internal/stats"
+	"mpr/internal/telemetry"
+)
+
+// The -stream microbenchmark sweeps the streaming-clear engine across
+// market sizes (the Fig. 10(a) axis extended to incremental updates) and
+// records sustained update throughput in the -benchout report. Each cell
+// measures a streamed activation-order-changing bid update — treap
+// delete + re-insert + full re-clear — against the batch path it
+// replaces (SetBid + Refresh + ClearInto, which re-sorts the whole
+// index). See DESIGN.md §11.
+
+// streamSizes is the market-size sweep.
+var streamSizes = []int{1000, 100000, 1000000}
+
+// benchStreamReport is one row of the report's "stream" section.
+type benchStreamReport struct {
+	Participants     int     `json:"participants"`
+	Updates          int     `json:"updates"`
+	NsPerUpdate      float64 `json:"ns_per_update"`
+	UpdatesPerSec    float64 `json:"updates_per_sec"`
+	BatchUpdates     int     `json:"batch_updates"`
+	BatchNsPerUpdate float64 `json:"batch_ns_per_update"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// streamPool builds a synthetic market of n participants with a cheap
+// deterministic generator. The experiment pools go through the full cost
+// models; here construction cost would dominate the 1M cell, and the
+// streaming engine only reads the bids.
+func streamPool(n int) ([]*core.Participant, float64) {
+	parts := make([]*core.Participant, n)
+	var maxW float64
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float64(rng>>11) / float64(1<<53)
+	}
+	for i := range parts {
+		delta := 0.5 + 5.5*next()
+		parts[i] = &core.Participant{
+			JobID:        fmt.Sprintf("j%d", i),
+			Cores:        8,
+			Bid:          core.Bid{Delta: delta, B: (0.02 + 0.3*next()) * delta},
+			WattsPerCore: 125,
+			MaxFrac:      1,
+		}
+		maxW += 125 * delta
+	}
+	return parts, 0.4 * maxW
+}
+
+// streamUpdateCounts picks per-size iteration counts that keep every
+// cell under a few seconds while staying far above timer resolution.
+func streamUpdateCounts(n int) (streamOps, batchOps int) {
+	switch {
+	case n <= 1000:
+		return 500000, 2000
+	case n <= 100000:
+		return 500000, 100
+	default:
+		return 200000, 10
+	}
+}
+
+// runStreamBench runs the sweep and returns the report rows.
+func runStreamBench() []benchStreamReport {
+	core.Instrument(telemetry.Nop())
+	defer core.Instrument(telemetry.Default())
+	var rows []benchStreamReport
+	for _, n := range streamSizes {
+		parts, target := streamPool(n)
+		orig := make([]core.Bid, n)
+		alt := make([]core.Bid, n)
+		for i, p := range parts {
+			orig[i] = p.Bid
+			alt[i] = core.Bid{Delta: p.Bid.Delta, B: 2 * p.Bid.B}
+		}
+		pick := func(i int) core.Bid {
+			if (i/n)%2 == 1 {
+				return orig[i%n]
+			}
+			return alt[i%n]
+		}
+		streamOps, batchOps := streamUpdateCounts(n)
+
+		sm, err := core.NewStreamMarket(parts, target)
+		if err != nil {
+			panic(err) // synthetic pool is valid by construction
+		}
+		start := time.Now()
+		for i := 0; i < streamOps; i++ {
+			if _, _, err := sm.Apply(core.ParticipantDelta{Index: i % n, Bid: pick(i)}); err != nil {
+				panic(err)
+			}
+		}
+		streamNs := float64(time.Since(start).Nanoseconds()) / float64(streamOps)
+
+		ix, err := core.NewMarketIndex(parts)
+		if err != nil {
+			panic(err)
+		}
+		var res core.ClearingResult
+		start = time.Now()
+		for i := 0; i < batchOps; i++ {
+			if err := ix.SetBid(i%n, pick(i)); err != nil {
+				panic(err)
+			}
+			ix.Refresh()
+			if err := ix.ClearInto(&res, target); err != nil {
+				panic(err)
+			}
+		}
+		batchNs := float64(time.Since(start).Nanoseconds()) / float64(batchOps)
+
+		rows = append(rows, benchStreamReport{
+			Participants:     n,
+			Updates:          streamOps,
+			NsPerUpdate:      streamNs,
+			UpdatesPerSec:    1e9 / streamNs,
+			BatchUpdates:     batchOps,
+			BatchNsPerUpdate: batchNs,
+			Speedup:          batchNs / streamNs,
+		})
+	}
+	return rows
+}
+
+// streamTable renders the sweep for the console.
+func streamTable(rows []benchStreamReport) string {
+	tbl := stats.NewTable("Streaming incremental clears: sustained update throughput",
+		"participants", "ns/update", "updates/s", "batch ns/update", "speedup")
+	for _, r := range rows {
+		tbl.AddRow(r.Participants,
+			fmt.Sprintf("%.0f", r.NsPerUpdate),
+			fmt.Sprintf("%.0f", r.UpdatesPerSec),
+			fmt.Sprintf("%.0f", r.BatchNsPerUpdate),
+			fmt.Sprintf("%.0f×", r.Speedup))
+	}
+	return tbl.String()
+}

@@ -9,7 +9,10 @@
 // waits for 4 agents, clears one market for a 2 kW reduction, prints the
 // reduction orders, lifts the emergency, and exits. With -target 0 the
 // daemon keeps running and reads reduction targets (watts, one per line)
-// from stdin, clearing one market per line.
+// from stdin, clearing one market per line. With -stream the market core
+// re-clears incrementally on every incoming bid (O(log M) per update) and
+// records each intermediate price in the mpr_mgr_stream_price series; the
+// wire protocol and the converged prices are unchanged.
 //
 // With -metrics ADDR (e.g. -metrics :9090) the daemon serves its full
 // observability surface over HTTP: Prometheus text (or ?format=json) at
@@ -51,6 +54,7 @@ func run() int {
 		target    = flag.Float64("target", 0, "one-shot power reduction target in watts (0 = interactive stdin mode)")
 		wait      = flag.Duration("wait", 30*time.Second, "how long to wait for agents")
 		metrics   = flag.String("metrics", "", "HTTP address serving the observability surface (empty = disabled)")
+		stream    = flag.Bool("stream", false, "continuously-clearing market: re-clear incrementally on every incoming bid")
 		sample    = flag.Duration("sample", time.Second, "wall-clock series sampling interval")
 		tracelog  = flag.String("tracelog", "", "file receiving every trace event as JSONL (flushed on shutdown)")
 		serieslog = flag.String("serieslog", "", "file receiving the series store on shutdown (.csv for CSV, else JSONL)")
@@ -85,11 +89,18 @@ func run() int {
 		}
 	}()
 
-	m, err = agentproto.NewManager(*listen, agentproto.ManagerConfig{
+	mcfg := agentproto.ManagerConfig{
 		Logf:      log.Printf,
 		Telemetry: o.reg,
 		Tracer:    o.tracer,
-	})
+	}
+	if *stream {
+		mcfg.Streaming = true
+		mcfg.OnStreamUpdate = func(jobID string, round int, price float64, feasible bool) {
+			o.recordStreamUpdate(price)
+		}
+	}
+	m, err = agentproto.NewManager(*listen, mcfg)
 	if err != nil {
 		log.Print(err)
 		return 1

@@ -20,6 +20,9 @@ const (
 	seriesMarketPrice     = "mpr_mgr_market_price"
 	seriesMarketSupplied  = "mpr_mgr_market_supplied_w"
 	seriesMarketUnmet     = "mpr_mgr_market_unmet_w"
+	// seriesStreamPrice records every incrementally re-cleared price in
+	// streaming mode (-stream): one point per incoming bid, not per round.
+	seriesStreamPrice = "mpr_mgr_stream_price"
 )
 
 // obsConfig parameterizes the daemon's observability runtime.
@@ -166,6 +169,12 @@ func (o *obs) handler() http.Handler {
 		Health:   o.health,
 		Pprof:    true,
 	})
+}
+
+// recordStreamUpdate samples one incremental re-clear into the
+// stream-price series — the per-bid observability of streaming mode.
+func (o *obs) recordStreamUpdate(price float64) {
+	o.store.Series(seriesStreamPrice).Append(o.cfg.Clock.Now().Unix(), price)
 }
 
 // recordMarket samples a finished market into the series store and

@@ -2,6 +2,7 @@ package agentproto
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"mpr/internal/check/floats"
 	"mpr/internal/core"
 	"mpr/internal/perf"
+	"mpr/internal/telemetry"
 )
 
 func TestCodecRoundTrip(t *testing.T) {
@@ -302,5 +304,82 @@ func TestStaleBidsDiscarded(t *testing.T) {
 	}
 	if out.Result.SuppliedW < 500-1e-6 {
 		t.Errorf("supplied %v", out.Result.SuppliedW)
+	}
+}
+
+// Streaming mode: each incoming bid must trigger an incremental re-clear
+// (one OnStreamUpdate callback and one counted stream update per bid),
+// and the market must land on the same equilibrium as the batch-per-round
+// path over the same agent population.
+func TestMarketStreamingOverTCP(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var updMu sync.Mutex
+	var updates []float64
+	m, err := NewManager("127.0.0.1:0", ManagerConfig{
+		RoundTimeout: 500 * time.Millisecond,
+		Streaming:    true,
+		Telemetry:    reg,
+		OnStreamUpdate: func(jobID string, round int, price float64, feasible bool) {
+			if jobID == "" || round < 1 {
+				t.Errorf("bad stream update: job %q round %d", jobID, round)
+			}
+			updMu.Lock()
+			updates = append(updates, price)
+			updMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	apps := []string{"XSBench", "RSBench", "SimpleMOC", "CoMD"}
+	for i, app := range apps {
+		dialAgent(t, m, fmt.Sprintf("s%d", i), app, 16)
+	}
+	waitAgents(t, m, len(apps))
+
+	target := 2000.0
+	out, err := m.RunMarket(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Result.Converged {
+		t.Errorf("streaming market did not converge in %d rounds", out.Result.Rounds)
+	}
+	if out.Result.SuppliedW < target-1e-6 {
+		t.Errorf("supplied %v < target %v", out.Result.SuppliedW, target)
+	}
+	updMu.Lock()
+	n := len(updates)
+	last := 0.0
+	if n > 0 {
+		last = updates[n-1]
+	}
+	updMu.Unlock()
+	// Every answered bid re-clears: at least one update per agent per
+	// round, and the final published price is the market's price.
+	if n < len(apps)*out.Result.Rounds {
+		t.Errorf("observed %d stream updates, want ≥ %d", n, len(apps)*out.Result.Rounds)
+	}
+	if !floats.RelEqual(last, out.Result.Price, 1e-9) {
+		t.Errorf("last streamed price %v != clearing price %v", last, out.Result.Price)
+	}
+	if got := reg.CounterValue(MetricStreamUpdates); got != int64(n) {
+		t.Errorf("stream update counter = %d, callbacks = %d", got, n)
+	}
+
+	// The batch-per-round manager over an identical population reaches
+	// the same equilibrium price.
+	mb := startManager(t)
+	for i, app := range apps {
+		dialAgent(t, mb, fmt.Sprintf("b%d", i), app, 16)
+	}
+	waitAgents(t, mb, len(apps))
+	batch, err := mb.RunMarket(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !floats.RelEqual(out.Result.Price, batch.Result.Price, 1e-6) {
+		t.Errorf("streaming price %v vs batch %v", out.Result.Price, batch.Result.Price)
 	}
 }

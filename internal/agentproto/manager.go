@@ -33,6 +33,9 @@ const (
 	// MetricBidTimeouts counts rounds that hit the per-round timeout
 	// before every agent answered.
 	MetricBidTimeouts = "mpr_manager_bid_timeouts_total"
+	// MetricStreamUpdates counts incremental re-clears in streaming
+	// markets: one per incoming bid applied to the stream engine.
+	MetricStreamUpdates = "mpr_manager_stream_updates_total"
 )
 
 // ManagerConfig parameterizes the market manager daemon.
@@ -58,6 +61,18 @@ type ManagerConfig struct {
 	// iteration and one "market_clear" per finished market — the feed
 	// behind mprd's /debug/market page.
 	Tracer *telemetry.Tracer
+	// Streaming switches RunMarket to the continuously-clearing engine:
+	// every incoming bid is applied to a core.StreamMarket and re-clears
+	// the market incrementally in O(log M), so a price is published per
+	// update (one "stream_update" trace event each) instead of only per
+	// round. The wire protocol is unchanged — agents still answer round
+	// price broadcasts — and the round fixpoint iteration is identical;
+	// only the solver underneath the round becomes incremental.
+	Streaming bool
+	// OnStreamUpdate, when set with Streaming, observes every incremental
+	// re-clear: the bidding job, the round, and the new clearing price.
+	// mprd uses it to feed the stream-price time series.
+	OnStreamUpdate func(jobID string, round int, price float64, feasible bool)
 }
 
 func (c *ManagerConfig) normalize() {
@@ -105,15 +120,16 @@ type Manager struct {
 	wg     sync.WaitGroup
 
 	// Telemetry handles; all nil (no-op) without a configured registry.
-	connects    *telemetry.Counter
-	disconnects *telemetry.Counter
-	rejected    *telemetry.Counter
-	connected   *telemetry.Gauge
-	bidRTT      *telemetry.Histogram
-	malformed   *telemetry.Counter
-	markets     *telemetry.Counter
-	rounds      *telemetry.Counter
-	timeouts    *telemetry.Counter
+	connects      *telemetry.Counter
+	disconnects   *telemetry.Counter
+	rejected      *telemetry.Counter
+	connected     *telemetry.Gauge
+	bidRTT        *telemetry.Histogram
+	malformed     *telemetry.Counter
+	markets       *telemetry.Counter
+	rounds        *telemetry.Counter
+	timeouts      *telemetry.Counter
+	streamUpdates *telemetry.Counter
 }
 
 // logf forwards to cfg.Logf when set; safe even on an un-normalized
@@ -143,6 +159,7 @@ func NewManager(addr string, cfg ManagerConfig) (*Manager, error) {
 		m.markets = reg.Counter(MetricMarkets, "Finished RunMarket invocations.")
 		m.rounds = reg.Counter(MetricRounds, "Price rounds across all markets.")
 		m.timeouts = reg.Counter(MetricBidTimeouts, "Rounds that timed out before all bids arrived.")
+		m.streamUpdates = reg.Counter(MetricStreamUpdates, "Incremental re-clears applied by streaming markets.")
 	}
 	m.wg.Add(1)
 	go m.acceptLoop()
@@ -301,8 +318,23 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 	mkSpan.SetAttr("target_w", strconv.FormatFloat(targetW, 'g', -1, 64))
 	mkSpan.SetAttr("agents", strconv.Itoa(len(agents)))
 
+	// Streaming mode keeps a continuously-clearing engine over the
+	// participants: each incoming bid is applied incrementally (O(log M))
+	// and publishes a fresh price immediately, instead of waiting for the
+	// round's batch clear. The round iteration itself is unchanged.
+	var stream *core.StreamMarket
+	if m.cfg.Streaming {
+		var err error
+		stream, err = core.NewStreamMarket(parts, targetW)
+		if err != nil {
+			mkSpan.End()
+			return nil, err
+		}
+		mkSpan.SetAttr("mode", "streaming")
+	}
+
 	price := m.cfg.InitialPrice
-	var res *core.ClearingResult
+	res := &core.ClearingResult{}
 	converged := false
 	rounds := 0
 	for round := 1; round <= m.cfg.MaxRounds; round++ {
@@ -330,7 +362,28 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 							continue
 						}
 						m.bidRTT.Observe(time.Since(broadcastAt).Seconds())
-						parts[i].Bid = core.Bid{Delta: bid.Delta, B: bid.B}
+						newBid := core.Bid{Delta: bid.Delta, B: bid.B}
+						if stream != nil {
+							p, feasible, err := stream.Apply(core.ParticipantDelta{Index: i, Bid: newBid})
+							if err != nil {
+								// An unclearable bid (e.g. negative Δ) is a
+								// protocol violation, not a market error: count
+								// it and proceed on the agent's previous bid,
+								// which the stream still holds.
+								m.malformed.Inc()
+								m.logf("agent %s bid rejected: %v", a.hello.JobID, err)
+								continue collect
+							}
+							parts[i].Bid = newBid
+							m.streamUpdates.Inc()
+							m.cfg.Tracer.Emit(telemetry.Event{Name: "stream_update", Round: round,
+								Price: p, TargetW: targetW, Label: a.hello.JobID})
+							if m.cfg.OnStreamUpdate != nil {
+								m.cfg.OnStreamUpdate(a.hello.JobID, round, p, feasible)
+							}
+							continue collect
+						}
+						parts[i].Bid = newBid
 						continue collect
 					case <-deadline:
 						// Keep the agent's previous bid (possibly zero) — the
@@ -346,7 +399,13 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 		})
 		bidSpan.End()
 		var err error
-		res, err = core.Clear(parts, targetW)
+		if stream != nil {
+			// The round's clear is already solved — the last Apply left the
+			// price cached; materializing reductions reuses res's buffers.
+			err = stream.ClearInto(res)
+		} else {
+			res, err = core.Clear(parts, targetW)
+		}
 		if err != nil {
 			roundSpan.End()
 			mkSpan.End()

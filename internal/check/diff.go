@@ -17,6 +17,7 @@ type DiffStats struct {
 	Infeasible   int // instances whose target exceeded capacity
 	Singleton    int // degenerate single-participant markets
 	Capped       int // capped instances that settled at the cap
+	Updates      int // streaming deltas applied (DiffStream only)
 
 	// Cost-ordering aggregates (DiffMarketVsOPT only): total cost per
 	// algorithm summed over all instances, and the count of instances
@@ -39,6 +40,7 @@ func (st *DiffStats) add(o DiffStats) {
 	st.Infeasible += o.Infeasible
 	st.Singleton += o.Singleton
 	st.Capped += o.Capped
+	st.Updates += o.Updates
 	st.OPTCost += o.OPTCost
 	st.StatCost += o.StatCost
 	st.EQLCost += o.EQLCost

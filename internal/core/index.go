@@ -41,6 +41,7 @@ type MarketIndex struct {
 	finite int       // number of entries with a finite activation price
 	maxW   float64   // prefWD[n]: aggregate supply ceiling in watts
 	dirty  bool
+	sorts  int // rebuilds that actually re-sorted (tests the Refresh fast path)
 }
 
 // NewMarketIndex validates the participants and builds the index over
@@ -125,6 +126,7 @@ func (ix *MarketIndex) Swap(a, b int) { ix.order[a], ix.order[b] = ix.order[b], 
 func (ix *MarketIndex) rebuild(force bool) {
 	if force || !sort.IsSorted(ix) {
 		sort.Sort(ix)
+		ix.sorts++
 	}
 	var wd, wb float64
 	ix.finite = len(ix.order)
@@ -148,8 +150,12 @@ func (ix *MarketIndex) rebuild(force bool) {
 // SetBid replaces participant i's bid. The change takes effect at the
 // next Refresh (ClearInto refreshes automatically). Unchanged bids are
 // detected and skipped, so static bidders in an interactive market cost
-// nothing between rounds.
+// nothing between rounds. An out-of-range index returns a typed
+// *ParticipantRangeError with the index untouched.
 func (ix *MarketIndex) SetBid(i int, b Bid) error {
+	if i < 0 || i >= len(ix.bids) {
+		return &ParticipantRangeError{Index: i, Len: len(ix.bids)}
+	}
 	if err := b.Validate(); err != nil {
 		return err
 	}
@@ -266,9 +272,17 @@ func (ix *MarketIndex) minPrice(targetW float64) (price float64, feasible bool) 
 	return q, true
 }
 
+// saturationIterCap bounds the saturation doubling loops. Doubling from
+// the 1e-6 floor to the 1e15 cap takes ⌈log₂(1e21)⌉ ≈ 70 iterations, so
+// the cap can only fire ahead of the price cap when float pathologies
+// (Wb ≫ WΔ keeping the withheld term above the 1e-9 threshold at any
+// representable price) would otherwise spin the loop at a stuck q.
+const saturationIterCap = 96
+
 // saturationPrice doubles from the largest activation price until the
 // withheld aggregate Wb/q is below 1e-9 W — the same saturation rule the
-// bisection path uses for infeasible targets (price capped at 1e15).
+// bisection path uses for infeasible targets (price capped at 1e15, and
+// the loop explicitly bounded by saturationIterCap).
 func (ix *MarketIndex) saturationPrice() float64 {
 	q := 1e-6
 	if ix.finite > 0 {
@@ -276,7 +290,7 @@ func (ix *MarketIndex) saturationPrice() float64 {
 			q = a
 		}
 	}
-	for ix.SupplyW(q) < ix.maxW-1e-9 && q < 1e15 {
+	for iter := 0; ix.SupplyW(q) < ix.maxW-1e-9 && q < 1e15 && iter < saturationIterCap; iter++ {
 		q *= 2
 	}
 	return q

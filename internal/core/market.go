@@ -174,6 +174,11 @@ const (
 	// solver — kept as an independent cross-check implementation for the
 	// differential tests and benchmarks.
 	ClearBisection
+	// ClearStreaming routes through the continuously-clearing treap
+	// engine (see StreamMarket): one-shot clears build the stream and
+	// clear once; long-lived callers hold the StreamMarket directly for
+	// O(log M) incremental re-clears per bid update.
+	ClearStreaming
 )
 
 // String names the mode for tables and logs.
@@ -185,6 +190,8 @@ func (m ClearMode) String() string {
 		return "closed-form"
 	case ClearBisection:
 		return "bisection"
+	case ClearStreaming:
+		return "streaming"
 	}
 	return "unknown"
 }
@@ -251,6 +258,17 @@ func ClearWithMode(ps []*Participant, targetW float64, mode ClearMode) (*Clearin
 	}
 	if len(ps) == 0 {
 		return nil, ErrNoParticipants
+	}
+	if mode == ClearStreaming {
+		sm, err := NewStreamMarket(ps, targetW)
+		if err != nil {
+			return nil, err
+		}
+		met().clearsStream.Inc()
+		if err := sm.ClearInto(res); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 	ix, err := NewMarketIndex(ps)
 	if err != nil {

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Out-of-range SetBid must come back as a typed error instead of the old
+// index panic, with the index untouched.
+func TestSetBidRangeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := randomPool(rng, 8)
+	ix, err := NewMarketIndex(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{-1, 8, 1000} {
+		err := ix.SetBid(i, Bid{Delta: 1})
+		re, ok := err.(*ParticipantRangeError)
+		if !ok {
+			t.Fatalf("SetBid(%d) err = %v, want *ParticipantRangeError", i, err)
+		}
+		if re.Index != i || re.Len != 8 {
+			t.Errorf("SetBid(%d) error = %+v", i, re)
+		}
+	}
+	if ix.dirty {
+		t.Error("rejected SetBid dirtied the index")
+	}
+}
+
+// The saturation doubling loop must terminate within its explicit
+// iteration bound even on the pathological Wb ≫ WΔ pool, where the
+// withheld aggregate stays above the 1e-9 W threshold at any
+// representable price and only the caps can end the loop.
+func TestSaturationPriceBounded(t *testing.T) {
+	// One near-zero-Δ participant with an enormous b: activation price
+	// b/Δ = 1e24, so the loop starts at 1e24 — already past the 1e15
+	// price cap; without the guards this is where pathologies spin.
+	ps := []*Participant{{
+		JobID: "path", Cores: 1, WattsPerCore: 1,
+		Bid: Bid{Delta: 1e-12, B: 1e12},
+	}}
+	ix, err := NewMarketIndex(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ix.saturationPrice()
+	if math.IsInf(q, 0) || math.IsNaN(q) {
+		t.Fatalf("saturation price = %v", q)
+	}
+	// The infeasible clear built on top of it stays finite too.
+	res, err := ix.Clear(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible || math.IsInf(res.Price, 0) {
+		t.Fatalf("pathological clear = %+v", res)
+	}
+
+	// Same contract on the streaming engine's mirror implementation.
+	sm, err := NewStreamMarket(ps, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, feasible := sm.Price(); feasible || math.IsInf(p, 0) || math.IsNaN(p) {
+		t.Fatalf("stream pathological price = %v feasible=%v", p, feasible)
+	}
+
+	// Wb ≫ WΔ across a whole pool: huge reluctance, tiny ceilings. The
+	// doubling from the max activation price (~1e13) must stop at the
+	// price cap within the iteration budget.
+	big := make([]*Participant, 32)
+	for i := range big {
+		big[i] = &Participant{
+			JobID: "b", Cores: 1, WattsPerCore: 1,
+			Bid: Bid{Delta: 1e-9, B: 1e4},
+		}
+	}
+	bx, err := NewMarketIndex(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := bx.saturationPrice(); math.IsInf(q, 0) || q <= 0 {
+		t.Fatalf("pool saturation price = %v", q)
+	}
+	if saturationIterCap < 70 {
+		t.Fatalf("saturationIterCap %d cannot even cover the 1e-6→1e15 doubling range", saturationIterCap)
+	}
+}
+
+// Refresh's two regimes: a magnitude-only bid change (activation order
+// preserved) must take the sort.IsSorted fast path, while an
+// activation-order change must actually re-sort — observable through the
+// index's sort counter.
+func TestRefreshSortRegimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ps := randomPool(rng, 300)
+	ix, err := NewMarketIndex(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ix.sorts // the build's forced sort
+
+	// Magnitude-only change: scale one bid's Δ and b together so the
+	// activation price b/Δ is bit-identical and the order undisturbed.
+	i := ix.order[150]
+	old := ix.bids[i]
+	if old.Delta == 0 {
+		for _, j := range ix.order {
+			if ix.bids[j].Delta > 0 {
+				i, old = j, ix.bids[j]
+				break
+			}
+		}
+	}
+	if err := ix.SetBid(i, Bid{Delta: old.Delta * 2, B: old.B * 2}); err != nil {
+		t.Fatal(err)
+	}
+	ix.Refresh()
+	if ix.sorts != base {
+		t.Errorf("magnitude-only Refresh re-sorted (%d -> %d sorts)", base, ix.sorts)
+	}
+
+	// Activation-order change: move a mid-order bid's activation price to
+	// the extreme low end.
+	j := ix.order[150]
+	if err := ix.SetBid(j, Bid{Delta: 8, B: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+	ix.Refresh()
+	if ix.sorts != base+1 {
+		t.Errorf("order-changing Refresh sorts %d, want %d", ix.sorts, base+1)
+	}
+
+	// A clean Refresh (not dirty) does nothing.
+	ix.Refresh()
+	if ix.sorts != base+1 {
+		t.Error("clean Refresh re-sorted")
+	}
+}
+
+// Tie-break determinism: with duplicated activation prices across
+// distinct participant indices, every rebuild history must converge to
+// the same sorted permutation and therefore bit-for-bit identical prefix
+// sums and clearing outcomes.
+func TestRefreshTieBreakDeterminism(t *testing.T) {
+	// 60 participants sharing 3 activation prices, heterogeneous watts so
+	// permutation differences would change the float summation order.
+	build := func() []*Participant {
+		ps := make([]*Participant, 60)
+		for i := range ps {
+			a := []float64{0.5, 1.25, 2.0}[i%3]
+			delta := 1 + float64(i%7)
+			ps[i] = &Participant{
+				JobID: "t", Cores: 1,
+				WattsPerCore: 53 + 17.13*float64(i),
+				Bid:          Bid{Delta: delta, B: a * delta},
+			}
+		}
+		return ps
+	}
+
+	// History A: fresh build. History B: build, scramble every bid to a
+	// random order, then SetBid each back to the original — two sorts with
+	// completely different starting permutations.
+	psA := build()
+	ixA, err := NewMarketIndex(psA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psB := build()
+	ixB, err := NewMarketIndex(psB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for i := range psB {
+		if err := ixB.SetBid(i, Bid{Delta: 1 + 8*rng.Float64(), B: 5 * rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ixB.Refresh()
+	for i := range psB {
+		if err := ixB.SetBid(i, psB[i].Bid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ixB.Refresh()
+
+	for k := range ixA.order {
+		if ixA.order[k] != ixB.order[k] {
+			t.Fatalf("order[%d]: %d vs %d — tie-break not deterministic", k, ixA.order[k], ixB.order[k])
+		}
+		if ixA.prefWD[k+1] != ixB.prefWD[k+1] || ixA.prefWB[k+1] != ixB.prefWB[k+1] {
+			t.Fatalf("prefix sums diverge at %d: (%v,%v) vs (%v,%v)",
+				k, ixA.prefWD[k+1], ixA.prefWB[k+1], ixB.prefWD[k+1], ixB.prefWB[k+1])
+		}
+	}
+	target := 0.6 * poolMaxW(psA)
+	var ra, rb ClearingResult
+	if err := ixA.ClearInto(&ra, target); err != nil {
+		t.Fatal(err)
+	}
+	if err := ixB.ClearInto(&rb, target); err != nil {
+		t.Fatal(err)
+	}
+	if ra.Price != rb.Price || ra.SuppliedW != rb.SuppliedW {
+		t.Fatalf("tied clears diverge: (%v,%v) vs (%v,%v)", ra.Price, ra.SuppliedW, rb.Price, rb.SuppliedW)
+	}
+	for i := range ra.Reductions {
+		if ra.Reductions[i] != rb.Reductions[i] {
+			t.Fatalf("reduction[%d]: %v vs %v", i, ra.Reductions[i], rb.Reductions[i])
+		}
+	}
+}

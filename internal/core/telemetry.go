@@ -32,6 +32,7 @@ type coreMetrics struct {
 	cappedShort   *telemetry.Counter
 	clearsClosed  *telemetry.Counter
 	clearsBisect  *telemetry.Counter
+	clearsStream  *telemetry.Counter
 	intRounds     *telemetry.Histogram
 	intConverged  *telemetry.Counter
 	intExhausted  *telemetry.Counter
@@ -53,6 +54,7 @@ func Instrument(reg *telemetry.Registry) {
 		m.cappedShort = reg.Counter(MetricCappedShortCircuits, "ClearCapped calls settled at the cap without a price search.")
 		m.clearsClosed = clears.With("closed_form")
 		m.clearsBisect = clears.With("bisection")
+		m.clearsStream = clears.With("streaming")
 		m.intRounds = reg.Histogram(MetricInteractiveRounds, "MPR-INT rounds to convergence.", telemetry.RoundBuckets)
 		outcomes := reg.CounterFamily(MetricInteractiveOutcomes, "Finished interactive markets by outcome.", "outcome")
 		m.intConverged = outcomes.With("converged")

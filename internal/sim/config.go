@@ -86,7 +86,9 @@ type Config struct {
 	Interactive core.InteractiveConfig
 	// ClearMode selects the MClr solver for the market algorithms
 	// (default ClearAuto = closed-form segmented solver; ClearBisection
-	// keeps the legacy search, useful as a cross-check).
+	// keeps the legacy search, useful as a cross-check; ClearStreaming
+	// routes MPR-STAT clears through the continuously-clearing treap
+	// engine — the same prices, solved incrementally).
 	ClearMode core.ClearMode
 	// Backfill enables EASY backfill in the admission scheduler.
 	Backfill bool

@@ -648,7 +648,7 @@ func computeReduction(cfg *Config, active []*simJob, targetW float64, s *marketS
 	var reductions []float64
 	switch cfg.Algorithm {
 	case AlgMPRStat:
-		if cfg.ClearMode == core.ClearBisection {
+		if cfg.ClearMode == core.ClearBisection || cfg.ClearMode == core.ClearStreaming {
 			r, cerr := core.ClearWithMode(s.parts, targetW, cfg.ClearMode)
 			if cerr != nil {
 				return 0, 0, false, cerr
