@@ -7,6 +7,7 @@ import (
 	"os"
 	"time"
 
+	"mpr/internal/agentproto"
 	"mpr/internal/core"
 	"mpr/internal/telemetry"
 	"mpr/internal/telemetry/alerts"
@@ -23,6 +24,9 @@ const (
 	// seriesStreamPrice records every incrementally re-cleared price in
 	// streaming mode (-stream): one point per incoming bid, not per round.
 	seriesStreamPrice = "mpr_mgr_stream_price"
+	// seriesBidRTTP99 tracks the p99 of the manager's price→bid HDR
+	// histogram, sampled each tick once the market has registered it.
+	seriesBidRTTP99 = "mpr_mgr_bid_rtt_p99_seconds"
 )
 
 // obsConfig parameterizes the daemon's observability runtime.
@@ -119,6 +123,13 @@ func newObs(c obsConfig) (*obs, error) {
 func (o *obs) sample(now time.Time) {
 	o.agentsSeries.Append(now.Unix(), float64(o.cfg.AgentCount()))
 	o.droppedGauge.Set(float64(o.tracer.Dropped()))
+	// The agentproto manager registers its RTT histogram lazily, so look
+	// it up (never create) each tick and sample the tail once it has data.
+	if h := o.reg.FindHDR(agentproto.MetricBidRTT); h != nil {
+		if snap := h.Snapshot(); snap.Count > 0 {
+			o.store.Series(seriesBidRTTP99).Append(now.Unix(), snap.Quantile(0.99))
+		}
+	}
 }
 
 // flush drains the sinks. The sampler calls it exactly once, after the

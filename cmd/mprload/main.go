@@ -1,0 +1,131 @@
+// Command mprload is the deterministic load harness for the interactive
+// MPR market: it drives tens of thousands of synthetic bidding agents
+// from one process against either an in-process manager (selfhost, the
+// default — agents attach over fd-free net.Pipe transports, so 50k+
+// agents fit inside ordinary descriptor limits) or an external mprd
+// (-connect, TCP).
+//
+// While markets clear, every agent records its observed round turnaround
+// into one shared HDR histogram; the harness samples p50/p99/p999 plus
+// the clearing price and fleet-attendance series into an in-memory tsdb,
+// evaluates the alerts.LoadRules SLO scorecard live over those series,
+// and finally emits a versioned mprload/report/v1 JSON artifact
+// (-report) with the latency digests and SLO verdicts.
+//
+// Examples:
+//
+//	mprload -agents 50000 -duration 10s -report LOAD.json
+//	mprload -agents 64 -connect 127.0.0.1:7946 -duration 2s -report -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"mpr/internal/telemetry"
+	"mpr/internal/telemetry/tsdb"
+)
+
+func main() {
+	var (
+		agents    = flag.Int("agents", 1000, "synthetic agents to drive")
+		connect   = flag.String("connect", "", "external manager address (empty = selfhost an in-process manager)")
+		transport = flag.String("transport", "pipe", "selfhost agent transport: pipe (fd-free) or tcp")
+		duration  = flag.Duration("duration", 5*time.Second, "how long to run")
+		mode      = flag.String("mode", "closed", "market arrival: open (one per -interval) or closed (back-to-back)")
+		interval  = flag.Duration("interval", 250*time.Millisecond, "open-loop market period")
+		dist      = flag.String("dist", "lognormal", "reluctance distribution: uniform, lognormal, or bimodal")
+		seed      = flag.Int64("seed", 1, "base seed for the deterministic fleet")
+		workers   = flag.Int("workers", 0, "dial fan-out workers (0 = GOMAXPROCS)")
+		target    = flag.Float64("target", 0.25, "emergency target as a fraction of the fleet's max reduction W")
+		stream    = flag.Bool("stream", false, "selfhost manager in streaming (incremental clear) mode")
+		jitter    = flag.Float64("jitter", 0.1, "per-round relative bid perturbation in [0,1]")
+		sample    = flag.Duration("sample", 250*time.Millisecond, "series sampling period")
+		rtimeout  = flag.Duration("rtimeout", 2*time.Second, "selfhost per-round bid timeout")
+		report    = flag.String("report", "", "write the mprload/report/v1 JSON artifact here (- = stdout)")
+		metrics   = flag.String("metrics", "", "serve /metrics, /debug/* on this address while running")
+		quiet     = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...interface{}) {}
+	}
+	cfg := loadConfig{
+		Agents:       *agents,
+		Connect:      *connect,
+		Transport:    *transport,
+		Mode:         *mode,
+		Duration:     *duration,
+		Interval:     *interval,
+		Dist:         *dist,
+		Seed:         *seed,
+		Workers:      *workers,
+		TargetFrac:   *target,
+		Stream:       *stream,
+		Jitter:       *jitter,
+		Sample:       *sample,
+		RoundTimeout: *rtimeout,
+		Logf:         logf,
+	}
+	h, err := newHarness(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *metrics != "" {
+		handler := telemetry.NewHandler(telemetry.HandlerConfig{
+			Registry: h.reg,
+			Tracer:   h.tracer,
+			Series:   tsdb.Handler(h.store),
+			Pprof:    true,
+		})
+		go func() {
+			if err := http.ListenAndServe(*metrics, handler); err != nil {
+				logf("metrics server: %v", err)
+			}
+		}()
+	}
+
+	logf("connecting %d agents (%s)…", cfg.Agents, transportLabel(cfg))
+	dialStart := time.Now()
+	if err := h.connect(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer h.close()
+	logf("%d/%d agents connected in %.2fs (%d dial errors), target %.0f W",
+		len(h.agents), cfg.Agents, time.Since(dialStart).Seconds(), h.dialErrors.Load(), h.targetW)
+
+	rep, err := h.run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	logf("done: %d markets (%d converged, %d errors), round-trip p99 %.4fs p999 %.4fs, SLO firings %d",
+		rep.Markets.Runs, rep.Markets.Converged, rep.Markets.Errors,
+		rep.RoundTripSeconds.P99, rep.RoundTripSeconds.P999, len(rep.SLO.Firings))
+
+	if *report != "" {
+		if err := writeReport(rep, *report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if !rep.SLO.Passed {
+		os.Exit(3)
+	}
+}
+
+func transportLabel(cfg loadConfig) string {
+	if cfg.Connect != "" {
+		return "tcp → " + cfg.Connect
+	}
+	return "selfhost/" + cfg.Transport
+}

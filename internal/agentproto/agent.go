@@ -43,15 +43,25 @@ type Agent struct {
 
 // Dial connects an agent to the manager and registers its job.
 func Dial(addr string, cfg AgentConfig) (*Agent, error) {
-	if cfg.JobID == "" || cfg.Cores <= 0 || cfg.WattsPerCore <= 0 || cfg.MaxFrac <= 0 {
-		return nil, fmt.Errorf("agentproto: agent config needs job id and positive cores/watts/max_frac")
-	}
-	if cfg.Strategy == nil {
-		return nil, fmt.Errorf("agentproto: agent needs a bidding strategy")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("agentproto: dial %s: %w", addr, err)
+	}
+	return DialConn(conn, cfg)
+}
+
+// DialConn registers an agent over an already-established connection —
+// the transport-agnostic path load generators use to drive tens of
+// thousands of agents over in-memory net.Pipe pairs (no file
+// descriptors) against an in-process Manager.ServeConn. The agent owns
+// conn and closes it when its loop ends or registration fails.
+func DialConn(conn net.Conn, cfg AgentConfig) (*Agent, error) {
+	if err := cfg.validate(); err != nil {
+		conn.Close()
+		return nil, err
 	}
 	a := &Agent{cfg: cfg, conn: conn, codec: NewCodec(conn), done: make(chan struct{})}
 	if err := a.codec.Send(Message{
@@ -66,6 +76,16 @@ func Dial(addr string, cfg AgentConfig) (*Agent, error) {
 	}
 	go a.loop()
 	return a, nil
+}
+
+func (cfg *AgentConfig) validate() error {
+	if cfg.JobID == "" || cfg.Cores <= 0 || cfg.WattsPerCore <= 0 || cfg.MaxFrac <= 0 {
+		return fmt.Errorf("agentproto: agent config needs job id and positive cores/watts/max_frac")
+	}
+	if cfg.Strategy == nil {
+		return fmt.Errorf("agentproto: agent needs a bidding strategy")
+	}
+	return nil
 }
 
 // Close disconnects the agent.
@@ -114,7 +134,10 @@ func (a *Agent) loop() {
 			a.mu.Lock()
 			a.lastBid = bid
 			a.mu.Unlock()
-			if err := a.codec.Send(Message{Type: MsgBid, Round: msg.Round, Delta: bid.Delta, B: bid.B}); err != nil {
+			// Echo the broadcast's trace ID (empty for untraced/old
+			// managers) so the manager can link this bid's respond_bid
+			// span to its market_round.
+			if err := a.codec.Send(Message{Type: MsgBid, Round: msg.Round, TraceID: msg.TraceID, Delta: bid.Delta, B: bid.B}); err != nil {
 				a.mu.Lock()
 				a.err = err
 				a.mu.Unlock()

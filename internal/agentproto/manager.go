@@ -7,10 +7,12 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mpr/internal/core"
 	"mpr/internal/telemetry"
+	"mpr/internal/telemetry/hdr"
 )
 
 // Metric names the manager registers.
@@ -20,8 +22,11 @@ const (
 	MetricAgentEvents = "mpr_agent_events_total"
 	// MetricAgentsConnected gauges the currently registered agents.
 	MetricAgentsConnected = "mpr_agents_connected"
-	// MetricBidRTT is the RespondBid round-trip histogram in seconds:
-	// price broadcast to bid receipt, per agent per round.
+	// MetricBidRTT is the RespondBid round-trip HDR histogram in
+	// seconds: price broadcast to bid receipt, per agent per round.
+	// Registered as an hdr.Histogram (log-bucketed, ~1 ns–100 s, ≤3.1%
+	// relative error), so tail quantiles are answerable without guessing
+	// bucket bounds up front.
 	MetricBidRTT = "mpr_agent_bid_rtt_seconds"
 	// MetricMalformed counts protocol violations: bad hellos, unexpected
 	// message types, and stale-round bids.
@@ -119,12 +124,16 @@ type Manager struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// marketSeq numbers RunMarket invocations; it seeds each market's
+	// trace ID ("m<seq>") and the per-round IDs broadcast on the wire.
+	marketSeq atomic.Uint64
+
 	// Telemetry handles; all nil (no-op) without a configured registry.
 	connects      *telemetry.Counter
 	disconnects   *telemetry.Counter
 	rejected      *telemetry.Counter
 	connected     *telemetry.Gauge
-	bidRTT        *telemetry.Histogram
+	bidRTT        *hdr.Histogram
 	malformed     *telemetry.Counter
 	markets       *telemetry.Counter
 	rounds        *telemetry.Counter
@@ -154,7 +163,7 @@ func NewManager(addr string, cfg ManagerConfig) (*Manager, error) {
 		m.disconnects = events.With("disconnect")
 		m.rejected = events.With("rejected")
 		m.connected = reg.Gauge(MetricAgentsConnected, "Currently registered agents.")
-		m.bidRTT = reg.Histogram(MetricBidRTT, "RespondBid round-trip latency in seconds.", telemetry.LatencySecondsBuckets)
+		m.bidRTT = reg.HDR(MetricBidRTT, "RespondBid round-trip latency in seconds (HDR).")
 		m.malformed = reg.Counter(MetricMalformed, "Protocol violations: bad hellos, unexpected types, stale-round bids.")
 		m.markets = reg.Counter(MetricMarkets, "Finished RunMarket invocations.")
 		m.rounds = reg.Counter(MetricRounds, "Price rounds across all markets.")
@@ -276,12 +285,33 @@ func (m *Manager) serve(conn net.Conn) {
 	m.logf("agent %s disconnected", hello.JobID)
 }
 
+// ServeConn registers an agent connection that was established out of
+// band — typically one end of a net.Pipe from an in-process load
+// generator, which costs no file descriptors and still exercises the
+// full JSON wire path. The manager owns conn from here on and serves it
+// exactly like an accepted TCP connection.
+func (m *Manager) ServeConn(conn net.Conn) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("agentproto: manager closed")
+	}
+	m.wg.Add(1)
+	m.mu.Unlock()
+	go m.serve(conn)
+	return nil
+}
+
 // MarketOutcome is the result of one interactive market run over the
 // connected agents.
 type MarketOutcome struct {
 	Result *core.ClearingResult
 	// Orders maps job IDs to awarded reductions (cores).
 	Orders map[string]float64
+	// TraceID is the market's trace identifier ("m<seq>") — the prefix of
+	// the per-round IDs stamped on this market's price broadcasts.
+	TraceID string
 }
 
 // RunMarket clears an interactive market for the given power-reduction
@@ -309,12 +339,21 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 		}
 	}
 
+	// Every market gets a trace ID "m<seq>"; each round extends it to
+	// "m<seq>.r<round>" and stamps that on the price broadcast. Agents
+	// echo it on their bids, which lets the collector below attribute a
+	// bid to the exact broadcast that prompted it and record a per-agent
+	// respond_bid span linked under the round.
+	marketTrace := "m" + strconv.FormatUint(m.marketSeq.Add(1), 10)
+
 	// The market runs as a span tree — market → market_round →
-	// respond_bids — so /debug/spans shows where wall-time went, and the
-	// bid fan-out carries the "mpr_span" pprof label (agent reader
+	// respond_bids, plus one externally-timed respond_bid{agent} child
+	// per traced bid — so /debug/spans shows where wall-time went, and
+	// the bid fan-out carries the "mpr_span" pprof label (agent reader
 	// goroutines feeding the bid channels inherit their creator's labels,
 	// so only the collection itself is labeled here).
 	mkSpan := m.cfg.Tracer.StartSpan("market", nil)
+	mkSpan.SetAttr("trace", marketTrace)
 	mkSpan.SetAttr("target_w", strconv.FormatFloat(targetW, 'g', -1, 64))
 	mkSpan.SetAttr("agents", strconv.Itoa(len(agents)))
 
@@ -339,12 +378,14 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 	rounds := 0
 	for round := 1; round <= m.cfg.MaxRounds; round++ {
 		rounds = round
+		roundTrace := marketTrace + ".r" + strconv.Itoa(round)
 		roundSpan := mkSpan.StartChild("market_round")
+		roundSpan.SetAttr("trace", roundTrace)
 		// Broadcast the price and gather this round's bids.
 		bidSpan := roundSpan.StartChild("respond_bids")
 		telemetry.WithPprofLabels("respond_bids", func() {
 			for _, a := range agents {
-				if err := a.send(Message{Type: MsgPrice, Round: round, Price: price, TargetW: targetW}); err != nil {
+				if err := a.send(Message{Type: MsgPrice, Round: round, Price: price, TargetW: targetW, TraceID: roundTrace}); err != nil {
 					m.logf("price to %s failed: %v", a.hello.JobID, err)
 				}
 			}
@@ -361,7 +402,19 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 							m.malformed.Inc()
 							continue
 						}
-						m.bidRTT.Observe(time.Since(broadcastAt).Seconds())
+						now := time.Now()
+						m.bidRTT.Record(now.Sub(broadcastAt).Seconds())
+						if bid.TraceID == roundTrace {
+							// The agent echoed our trace ID: link a per-agent
+							// respond_bid span under this round, spanning the
+							// broadcast to this bid's receipt. Old-format
+							// agents never echo (empty TraceID) and simply
+							// stay untraced.
+							m.cfg.Tracer.RecordSpan("respond_bid", roundSpan,
+								broadcastAt.UnixNano(), now.UnixNano(),
+								telemetry.Attr{Key: "agent", Value: a.hello.JobID},
+								telemetry.Attr{Key: "trace", Value: roundTrace})
+						}
 						newBid := core.Bid{Delta: bid.Delta, B: bid.B}
 						if stream != nil {
 							p, feasible, err := stream.Apply(core.ParticipantDelta{Index: i, Bid: newBid})
@@ -376,7 +429,7 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 							}
 							parts[i].Bid = newBid
 							m.streamUpdates.Inc()
-							m.cfg.Tracer.Emit(telemetry.Event{Name: "stream_update", Round: round,
+							m.cfg.Tracer.Emit(telemetry.Event{Name: "stream_update", Trace: roundTrace, Round: round,
 								Price: p, TargetW: targetW, Label: a.hello.JobID})
 							if m.cfg.OnStreamUpdate != nil {
 								m.cfg.OnStreamUpdate(a.hello.JobID, round, p, feasible)
@@ -412,7 +465,7 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 			return nil, err
 		}
 		m.rounds.Inc()
-		m.cfg.Tracer.Emit(telemetry.Event{Name: "market_round", Round: round,
+		m.cfg.Tracer.Emit(telemetry.Event{Name: "market_round", Trace: roundTrace, Round: round,
 			Price: res.Price, TargetW: targetW, SuppliedW: res.SuppliedW, Value: price})
 		roundSpan.End()
 		if math.Abs(res.Price-price) <= m.cfg.Tolerance*math.Max(price, 1e-12) {
@@ -431,10 +484,10 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 	if !converged {
 		clearLabel = "budget_exhausted"
 	}
-	m.cfg.Tracer.Emit(telemetry.Event{Name: "market_clear", Round: rounds,
+	m.cfg.Tracer.Emit(telemetry.Event{Name: "market_clear", Trace: marketTrace, Round: rounds,
 		Price: res.Price, TargetW: targetW, SuppliedW: res.SuppliedW, Label: clearLabel})
 
-	out := &MarketOutcome{Result: res, Orders: make(map[string]float64, len(agents))}
+	out := &MarketOutcome{Result: res, Orders: make(map[string]float64, len(agents)), TraceID: marketTrace}
 	for i, a := range agents {
 		red := res.Reductions[i]
 		out.Orders[a.hello.JobID] = red

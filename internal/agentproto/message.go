@@ -51,6 +51,17 @@ type Message struct {
 	Price   float64 `json:"price,omitempty"`
 	TargetW float64 `json:"target_w,omitempty"`
 
+	// TraceID is the wire-level trace handle: the manager stamps every
+	// price broadcast with the round's trace ID ("m<market>.r<round>")
+	// and agents echo it verbatim on the answering bid, which lets the
+	// manager link a per-agent respond_bid span to its market_round and
+	// land per-agent RTT in the HDR series. The field is optional and
+	// backward-compatible: an absent (empty) TraceID means an untraced
+	// agent and changes nothing else — old-format messages parse
+	// identically, and messages without a trace encode byte-identically
+	// to the pre-trace wire format (pinned by TestWireFormatPinned).
+	TraceID string `json:"trace,omitempty"`
+
 	// Bid fields.
 	Delta float64 `json:"delta,omitempty"`
 	B     float64 `json:"b,omitempty"`
@@ -69,10 +80,13 @@ type Codec struct {
 	sc  *bufio.Scanner
 }
 
-// NewCodec wraps a bidirectional stream.
+// NewCodec wraps a bidirectional stream. The scan buffer starts small
+// (protocol messages are ~100–200 bytes) and grows on demand up to the
+// 64 KiB line cap, so a C1M-scale load run holding tens of thousands of
+// codecs does not pay 64 KiB per connection up front.
 func NewCodec(rw io.ReadWriter) *Codec {
 	sc := bufio.NewScanner(rw)
-	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	sc.Buffer(make([]byte, 1024), 64*1024)
 	return &Codec{enc: json.NewEncoder(rw), sc: sc}
 }
 

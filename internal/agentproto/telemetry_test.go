@@ -45,8 +45,9 @@ func TestManagerTelemetry(t *testing.T) {
 	if got := s.Counter(MetricRounds); got != int64(out.Result.Rounds) {
 		t.Fatalf("rounds counter = %d, result rounds %d", got, out.Result.Rounds)
 	}
-	// One RTT observation per agent per round, minus any timeouts.
-	rtt := s.Histogram(MetricBidRTT)
+	// One RTT observation per agent per round, minus any timeouts. The
+	// RTT metric is an HDR histogram, surfaced as a quantile summary.
+	rtt := s.HDR(MetricBidRTT)
 	want := int64(len(apps)*out.Result.Rounds) - s.Counter(MetricBidTimeouts)
 	if rtt.Count != want {
 		t.Fatalf("RTT observations = %d, want %d", rtt.Count, want)

@@ -247,6 +247,32 @@ func SimRules() []Rule {
 	}
 }
 
+// LoadRules are the SLO rules mprload evaluates live while driving a
+// synthetic agent fleet: tail-latency ceilings over the sampled HDR
+// quantile series and an attrition rule over the connected-agent
+// fraction. Thresholds assume the default 2 s round timeout — a p99
+// round turnaround near half the timeout means the market is one
+// scheduling hiccup away from dropping bids.
+func LoadRules() []Rule {
+	return []Rule{
+		{
+			Name: "RoundTripP99High", Series: "mpr_load_rtt_p99_seconds",
+			Op: GT, Threshold: 1.0, ForSamples: 3,
+			Help: "p99 agent round turnaround above 1s for consecutive samples — the fleet is lagging the market",
+		},
+		{
+			Name: "RoundTripP999High", Series: "mpr_load_rtt_p999_seconds",
+			Op: GT, Threshold: 1.9, ForSamples: 1,
+			Help: "p999 agent round turnaround within the 2s round timeout margin — bids are about to be dropped",
+		},
+		{
+			Name: "AgentAttrition", Series: "mpr_load_agents_connected_frac",
+			Op: LT, Threshold: 0.99, WindowSamples: 20, BurnFrac: 0.25,
+			Help: "more than 1% of the fleet disconnected in a quarter of the trailing window — agents are dying under load",
+		},
+	}
+}
+
 // ManagerRules are the rules mprd evaluates live after every market.
 func ManagerRules() []Rule {
 	return []Rule{

@@ -118,7 +118,7 @@ func TestEvalStoreWindow(t *testing.T) {
 }
 
 func TestDefaultRuleSetsAreWellFormed(t *testing.T) {
-	for _, rules := range [][]Rule{SimRules(), ManagerRules()} {
+	for _, rules := range [][]Rule{SimRules(), ManagerRules(), LoadRules()} {
 		for _, r := range rules {
 			if r.Name == "" || r.Series == "" {
 				t.Fatalf("malformed rule %+v", r)
@@ -130,5 +130,39 @@ func TestDefaultRuleSetsAreWellFormed(t *testing.T) {
 				t.Fatalf("rule %s has empty String()", r.Name)
 			}
 		}
+	}
+}
+
+func TestLoadRulesFire(t *testing.T) {
+	// A degraded load run: p99 above 1s for a stretch, p999 brushing the
+	// round timeout once, and a quarter of the window below full fleet
+	// attendance. Every load rule should fire exactly once.
+	data := []tsdb.SeriesData{
+		rawSeries("mpr_load_rtt_p99_seconds", nil,
+			[]float64{0.2, 0.3, 1.2, 1.4, 1.3, 0.4}),
+		rawSeries("mpr_load_rtt_p999_seconds", nil,
+			[]float64{0.5, 1.95, 0.6}),
+		rawSeries("mpr_load_agents_connected_frac", nil,
+			[]float64{1, 1, 0.97, 0.95, 0.9, 1, 0.98, 0.96, 1, 1}),
+	}
+	firings := Eval(LoadRules(), data)
+	byRule := map[string]int{}
+	for _, f := range firings {
+		byRule[f.Rule]++
+	}
+	for _, want := range []string{"RoundTripP99High", "RoundTripP999High", "AgentAttrition"} {
+		if byRule[want] != 1 {
+			t.Errorf("%s fired %d times, want 1 (firings %+v)", want, byRule[want], firings)
+		}
+	}
+
+	// A healthy run fires nothing.
+	healthy := []tsdb.SeriesData{
+		rawSeries("mpr_load_rtt_p99_seconds", nil, []float64{0.1, 0.2, 0.15}),
+		rawSeries("mpr_load_rtt_p999_seconds", nil, []float64{0.3, 0.4}),
+		rawSeries("mpr_load_agents_connected_frac", nil, []float64{1, 1, 1, 1}),
+	}
+	if f := Eval(LoadRules(), healthy); len(f) != 0 {
+		t.Errorf("healthy run fired %+v", f)
 	}
 }

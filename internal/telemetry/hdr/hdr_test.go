@@ -1,0 +1,247 @@
+package hdr
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestBucketOfRoundTrip(t *testing.T) {
+	// Every trackable value must land in a bucket whose bounds contain it.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		// Log-uniform over the trackable range.
+		v := math.Exp(rng.Float64()*(math.Log(MaxTrackable)-math.Log(MinTrackable)) + math.Log(MinTrackable))
+		b := bucketOf(v)
+		lo, hi := BucketBounds(b)
+		if v < lo || v >= hi {
+			t.Fatalf("value %g in bucket %d with bounds [%g, %g)", v, b, lo, hi)
+		}
+	}
+}
+
+func TestBucketBoundsContiguous(t *testing.T) {
+	prevHi := MinTrackable
+	for i := 1; i < overflowBucket; i++ {
+		lo, hi := BucketBounds(i)
+		if lo != prevHi {
+			t.Fatalf("bucket %d lo = %g, want %g (gap or overlap)", i, lo, prevHi)
+		}
+		if hi <= lo {
+			t.Fatalf("bucket %d empty: [%g, %g)", i, lo, hi)
+		}
+		// Relative bucket width is the quantile error bound.
+		if w := (hi - lo) / lo; w > 1.0/subCount+1e-12 {
+			t.Fatalf("bucket %d relative width %g > %g", i, w, 1.0/subCount)
+		}
+		prevHi = hi
+	}
+}
+
+func TestBucketOfClamps(t *testing.T) {
+	for _, v := range []float64{0, -1, MinTrackable / 2, math.Inf(-1), math.NaN()} {
+		if b := bucketOf(v); b != underflowBucket {
+			t.Errorf("bucketOf(%g) = %d, want underflow", v, b)
+		}
+	}
+	for _, v := range []float64{MaxTrackable, MaxTrackable * 10, math.Inf(1)} {
+		if b := bucketOf(v); b != overflowBucket {
+			t.Errorf("bucketOf(%g) = %d, want overflow", v, b)
+		}
+	}
+}
+
+// refDistributions are the reference shapes the quantile error bound is
+// verified against: uniform, lognormal (heavy right tail), and bimodal
+// (fast mode + slow mode, the classic RTT-under-load shape).
+func refDistributions() map[string]func(*rand.Rand) float64 {
+	return map[string]func(*rand.Rand) float64{
+		"uniform": func(r *rand.Rand) float64 {
+			return 1e-4 + r.Float64()*0.5
+		},
+		"lognormal": func(r *rand.Rand) float64 {
+			return math.Exp(r.NormFloat64()*1.5 - 7) // median ~0.9 ms
+		},
+		"bimodal": func(r *rand.Rand) float64 {
+			if r.Float64() < 0.9 {
+				return 2e-4 + r.Float64()*1e-4
+			}
+			return 0.5 + r.Float64()*2
+		},
+	}
+}
+
+// TestQuantileError pins the acceptance bound: Quantile(p) must sit
+// within one bucket width of the exact sorted-sample quantile under the
+// same rank convention.
+func TestQuantileError(t *testing.T) {
+	const n = 200000
+	for name, gen := range refDistributions() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			h := New()
+			samples := make([]float64, n)
+			for i := range samples {
+				v := gen(rng)
+				samples[i] = v
+				h.Record(v)
+			}
+			sort.Float64s(samples)
+			snap := h.Snapshot()
+			if snap.Count != n {
+				t.Fatalf("count = %d, want %d", snap.Count, n)
+			}
+			for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 0.9999} {
+				rank := int(math.Ceil(p * n))
+				if rank < 1 {
+					rank = 1
+				}
+				exact := samples[rank-1]
+				est := snap.Quantile(p)
+				lo, hi := BucketBounds(bucketOf(exact))
+				width := hi - lo
+				if math.Abs(est-exact) > width+1e-12 {
+					t.Errorf("p=%v: estimate %g vs exact %g, |err| %g > bucket width %g",
+						p, est, exact, math.Abs(est-exact), width)
+				}
+			}
+			// Edge quantiles return the observed extremes exactly.
+			if got := snap.Quantile(0); got != samples[0] {
+				t.Errorf("Quantile(0) = %g, want min %g", got, samples[0])
+			}
+			if got := snap.Quantile(1); got != samples[n-1] {
+				t.Errorf("Quantile(1) = %g, want max %g", got, samples[n-1])
+			}
+		})
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b, all := New(), New(), New()
+	gen := refDistributions()["lognormal"]
+	for i := 0; i < 50000; i++ {
+		v := gen(rng)
+		all.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	want := all.Snapshot()
+	if merged.Counts != want.Counts {
+		t.Fatal("merged bucket counts differ from combined recording")
+	}
+	if merged.Count != want.Count || merged.Min != want.Min || merged.Max != want.Max {
+		t.Errorf("merged count/min/max = %d/%g/%g, want %d/%g/%g",
+			merged.Count, merged.Min, merged.Max, want.Count, want.Min, want.Max)
+	}
+	if math.Abs(merged.Sum-want.Sum) > 1e-9*math.Abs(want.Sum) {
+		t.Errorf("merged sum %g vs %g", merged.Sum, want.Sum)
+	}
+	for _, p := range []float64{0.5, 0.99, 0.999} {
+		if merged.Quantile(p) != want.Quantile(p) {
+			t.Errorf("p=%v: merged quantile %g != combined %g", p, merged.Quantile(p), want.Quantile(p))
+		}
+	}
+	// Merging into an empty snapshot preserves extremes.
+	var empty Snapshot
+	empty.Merge(want)
+	if empty.Min != want.Min || empty.Max != want.Max || empty.Count != want.Count {
+		t.Error("merge into empty snapshot lost count or extremes")
+	}
+}
+
+func TestEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	nilH.Record(1) // must not panic
+	if c := nilH.Count(); c != 0 {
+		t.Errorf("nil count = %d", c)
+	}
+	snap := nilH.Snapshot()
+	if snap.Count != 0 || snap.Quantile(0.99) != 0 || snap.Mean() != 0 {
+		t.Error("nil snapshot not empty")
+	}
+	h := New()
+	snap = h.Snapshot()
+	if snap.Min != 0 || snap.Max != 0 || snap.Quantile(0.5) != 0 {
+		t.Error("empty snapshot min/max/quantile not zero")
+	}
+}
+
+func TestClampedRecordsStillCount(t *testing.T) {
+	h := New()
+	h.Record(0)
+	h.Record(1e-12)
+	h.Record(200) // above MaxTrackable
+	snap := h.Snapshot()
+	if snap.Count != 3 {
+		t.Fatalf("count = %d, want 3", snap.Count)
+	}
+	if snap.Counts[underflowBucket] != 2 || snap.Counts[overflowBucket] != 1 {
+		t.Errorf("underflow/overflow = %d/%d, want 2/1",
+			snap.Counts[underflowBucket], snap.Counts[overflowBucket])
+	}
+	if snap.Max != 200 {
+		t.Errorf("max = %g, want 200 (overflow still tracked)", snap.Max)
+	}
+	// The p=1 quantile of an overflow-heavy histogram clamps to Max.
+	if q := snap.Quantile(0.999); q != 200 {
+		t.Errorf("overflow quantile = %g, want clamped 200", q)
+	}
+}
+
+// TestHDRRecordZeroAlloc is the CI gate: Record must not allocate in
+// steady state.
+func TestHDRRecordZeroAlloc(t *testing.T) {
+	h := New()
+	h.Record(0.01)
+	v := 0.001
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v *= 1.0001
+	}); allocs != 0 {
+		t.Fatalf("Record allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	h := New()
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < per; i++ {
+				h.Record(math.Exp(rng.NormFloat64() - 6))
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", snap.Count, goroutines*per)
+	}
+	var sum int64
+	for _, c := range snap.Counts {
+		sum += c
+	}
+	if sum != snap.Count {
+		t.Errorf("bucket sum %d != count %d", sum, snap.Count)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	h := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(float64(i%1000) * 1e-5)
+	}
+}

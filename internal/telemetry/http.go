@@ -49,9 +49,17 @@ type HandlerConfig struct {
 //	/metrics        Prometheus text exposition (?format=json for JSON)
 //	/debug/market   last clearing rounds (?format=json for JSON + dropped count)
 //	/debug/spans    completed hierarchical spans, JSON
+//	/debug/build    binary build identity (module version, VCS revision, GOOS/GOARCH)
 //	/debug/series   windowed time-series queries (when Series is wired)
 //	/healthz        uptime / agents / sample freshness (when Health is wired)
 //	/debug/pprof/*  net/http/pprof (when Pprof is set)
+//
+// Histogram bucket semantics in both /metrics forms follow Prometheus:
+// an observation v belongs to the first bucket whose upper bound
+// satisfies v ≤ bound, with an implicit +Inf overflow bucket. The JSON
+// form reports per-bucket (non-cumulative) counts alongside the bounds;
+// the text form reports cumulative _bucket series. HDR histograms render
+// as quantile summaries in both forms (see Registry.HDR).
 //
 // mprd mounts this under its -metrics flag.
 func NewHandler(cfg HandlerConfig) http.Handler {
@@ -85,6 +93,9 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 			Spans []Span `json:"spans"`
 		}{spans})
 	})
+	mux.HandleFunc("/debug/build", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, ReadBuildInfo())
+	})
 	if cfg.Series != nil {
 		mux.Handle("/debug/series", cfg.Series)
 	}
@@ -107,7 +118,7 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		links := []string{"/metrics", "/debug/market", "/debug/spans"}
+		links := []string{"/metrics", "/debug/market", "/debug/spans", "/debug/build"}
 		if cfg.Series != nil {
 			links = append(links, "/debug/series")
 		}
@@ -162,11 +173,15 @@ func writeMetricsJSON(w http.ResponseWriter, r *Registry) {
 			Histograms: map[string]HistogramSnapshot{},
 		}
 	}
+	if s.HDRs == nil {
+		s.HDRs = map[string]HDRSummary{}
+	}
 	writeJSON(w, struct {
 		Counters   map[string]int64             `json:"counters"`
 		Gauges     map[string]float64           `json:"gauges"`
 		Histograms map[string]HistogramSnapshot `json:"histograms"`
-	}{s.Counters, s.Gauges, s.Histograms})
+		HDRs       map[string]HDRSummary        `json:"hdr_histograms"`
+	}{s.Counters, s.Gauges, s.Histograms, s.HDRs})
 }
 
 func writeDebugMarket(w http.ResponseWriter, r *Registry, t *Tracer) {
@@ -201,15 +216,50 @@ func writeDebugMarket(w http.ResponseWriter, r *Registry, t *Tracer) {
 		for _, name := range sortedKeys(s.Gauges) {
 			fmt.Fprintf(&b, "<tr><td>%s</td><td>%g</td></tr>\n", html.EscapeString(name), s.Gauges[name])
 		}
-		b.WriteString("</table>\n<h2>Histograms</h2>\n<table border=\"1\" cellpadding=\"3\"><tr><th>name</th><th>count</th><th>mean</th></tr>\n")
+		// Histogram rows render the full bucket layout: one "≤bound: n"
+		// cell per non-empty bucket (counts are per-bucket, not
+		// cumulative; the trailing +Inf bucket catches overflow) so the
+		// debug page answers distribution questions, not just mean ones.
+		b.WriteString("</table>\n<h2>Histograms</h2>\n<table border=\"1\" cellpadding=\"3\"><tr><th>name</th><th>count</th><th>mean</th><th>buckets (≤bound: count, non-cumulative)</th></tr>\n")
 		for _, name := range sortedKeys(s.Histograms) {
 			h := s.Histograms[name]
-			fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%.4g</td></tr>\n", html.EscapeString(name), h.Count, h.Mean())
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%.4g</td><td>%s</td></tr>\n",
+				html.EscapeString(name), h.Count, h.Mean(), formatBuckets(h))
+		}
+		b.WriteString("</table>\n<h2>HDR histograms (quantile summaries)</h2>\n<table border=\"1\" cellpadding=\"3\"><tr><th>name</th><th>count</th><th>mean</th><th>min</th><th>p50</th><th>p90</th><th>p99</th><th>p999</th><th>max</th></tr>\n")
+		for _, name := range sortedKeys(s.HDRs) {
+			h := s.HDRs[name]
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%.4g</td><td>%.4g</td><td>%.4g</td><td>%.4g</td><td>%.4g</td><td>%.4g</td><td>%.4g</td></tr>\n",
+				html.EscapeString(name), h.Count, h.Mean, h.Min, h.P50, h.P90, h.P99, h.P999, h.Max)
 		}
 		b.WriteString("</table>\n")
 	}
 	b.WriteString("</body></html>\n")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// formatBuckets renders a fixed-bucket histogram's non-empty buckets as
+// "≤bound: count" cells (the final bucket is the implicit +Inf
+// overflow). Empty histograms render as a dash.
+func formatBuckets(h HistogramSnapshot) string {
+	if h.Count == 0 {
+		return "&mdash;"
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(" · ")
+		}
+		bound := "+Inf"
+		if i < len(h.Bounds) {
+			bound = fmt.Sprintf("%g", h.Bounds[i])
+		}
+		fmt.Fprintf(&b, "≤%s: %d", bound, c)
+	}
+	return b.String()
 }
 
 func sortedKeys[V any](m map[string]V) []string {

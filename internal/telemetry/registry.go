@@ -23,6 +23,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"mpr/internal/telemetry/hdr"
 )
 
 // Nop returns the no-op registry: nil. All registry and metric methods
@@ -190,6 +192,7 @@ const (
 	kindGauge
 	kindHistogram
 	kindCounterFamily
+	kindHDR
 )
 
 type metricEntry struct {
@@ -199,6 +202,7 @@ type metricEntry struct {
 	gauge      *Gauge
 	hist       *Histogram
 	family     *CounterFamily
+	hdr        *hdr.Histogram
 }
 
 // Registry holds named metrics. All getters are get-or-create and
@@ -284,6 +288,35 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	}).hist
 }
 
+// HDR returns the named high-dynamic-range histogram (see the hdr
+// subpackage: log-bucketed, ~1 ns–100 s range, ≤3.1% relative error,
+// mergeable snapshots), creating it on first use. HDR histograms render
+// as Prometheus summaries (quantile series plus _sum/_count) because
+// their ~1200-bucket layout is too fine for useful _bucket exposition.
+// Returns nil (the no-op histogram) on a nil registry.
+func (r *Registry) HDR(name, help string) *hdr.Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, help, kindHDR, func(e *metricEntry) {
+		e.hdr = hdr.New()
+	}).hdr
+}
+
+// FindHDR returns the named HDR histogram without creating it — the
+// lookup path for samplers that publish quantile series for histograms
+// registered elsewhere. Nil when absent or on a nil registry (and a nil
+// *hdr.Histogram is safe to Record into and Snapshot).
+func (r *Registry) FindHDR(name string) *hdr.Histogram {
+	if r == nil {
+		return nil
+	}
+	if e := r.lookup(name, kindHDR); e != nil {
+		return e.hdr
+	}
+	return nil
+}
+
 // CounterFamily returns the named labeled counter family, creating it on
 // first use. Returns nil on a nil registry.
 func (r *Registry) CounterFamily(name, help, label string) *CounterFamily {
@@ -337,6 +370,31 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// HDRSummary is the serializable point-in-time digest of an HDR
+// histogram: pre-computed quantiles instead of the ~1200 raw buckets.
+// Consumers needing mergeable full-resolution state take hdr.Snapshot
+// from the histogram handle instead.
+type HDRSummary struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// summarizeHDR digests one HDR snapshot.
+func summarizeHDR(s hdr.Snapshot) HDRSummary {
+	return HDRSummary{
+		Count: s.Count, Sum: s.Sum, Min: s.Min, Max: s.Max, Mean: s.Mean(),
+		P50: s.Quantile(0.50), P90: s.Quantile(0.90),
+		P99: s.Quantile(0.99), P999: s.Quantile(0.999),
+	}
+}
+
 // Snapshot is a point-in-time copy of a registry's metrics, serializable
 // for results and offline analysis. Family children appear in Counters
 // under the expanded name `family{label="value"}`.
@@ -344,6 +402,7 @@ type Snapshot struct {
 	Counters   map[string]int64
 	Gauges     map[string]float64
 	Histograms map[string]HistogramSnapshot
+	HDRs       map[string]HDRSummary
 }
 
 // Counter reads a counter from the snapshot (0 when absent).
@@ -362,6 +421,14 @@ func (s *Snapshot) Histogram(name string) HistogramSnapshot {
 	return s.Histograms[name]
 }
 
+// HDR reads an HDR summary (zero value when absent).
+func (s *Snapshot) HDR(name string) HDRSummary {
+	if s == nil {
+		return HDRSummary{}
+	}
+	return s.HDRs[name]
+}
+
 // Snapshot captures all metrics. Returns nil on a nil registry.
 func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
@@ -374,6 +441,7 @@ func (r *Registry) Snapshot() *Snapshot {
 		Counters:   make(map[string]int64),
 		Gauges:     make(map[string]float64),
 		Histograms: make(map[string]HistogramSnapshot),
+		HDRs:       make(map[string]HDRSummary),
 	}
 	for _, e := range entries {
 		switch e.kind {
@@ -383,6 +451,8 @@ func (r *Registry) Snapshot() *Snapshot {
 			s.Gauges[e.name] = e.gauge.Value()
 		case kindHistogram:
 			s.Histograms[e.name] = e.hist.snapshot()
+		case kindHDR:
+			s.HDRs[e.name] = summarizeHDR(e.hdr.Snapshot())
 		case kindCounterFamily:
 			f := e.family
 			f.mu.Lock()
@@ -434,6 +504,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", e.name, snap.Count)
 			fmt.Fprintf(&b, "%s_sum %s\n", e.name, formatFloat(snap.Sum))
 			fmt.Fprintf(&b, "%s_count %d\n", e.name, snap.Count)
+		case kindHDR:
+			// HDR histograms expose as summaries: pre-computed quantiles
+			// instead of ~1200 _bucket lines.
+			fmt.Fprintf(&b, "# TYPE %s summary\n", e.name)
+			sum := summarizeHDR(e.hdr.Snapshot())
+			for _, q := range []struct {
+				label string
+				v     float64
+			}{{"0.5", sum.P50}, {"0.9", sum.P90}, {"0.99", sum.P99}, {"0.999", sum.P999}} {
+				fmt.Fprintf(&b, "%s{quantile=%q} %s\n", e.name, q.label, formatFloat(q.v))
+			}
+			fmt.Fprintf(&b, "%s_sum %s\n", e.name, formatFloat(sum.Sum))
+			fmt.Fprintf(&b, "%s_count %d\n", e.name, sum.Count)
 		}
 	}
 	_, err := io.WriteString(w, b.String())

@@ -107,6 +107,35 @@ func (s *ActiveSpan) End() {
 	t.mu.Unlock()
 }
 
+// RecordSpan records an externally timed span — one whose start and end
+// were measured by the caller rather than by Start/End bracketing — into
+// the span ring as a child of parent (nil = root), returning the
+// assigned span ID (0 on a nil tracer). The agentproto manager uses it
+// for per-agent respond_bid spans: the interval runs from the round's
+// price broadcast to that agent's bid receipt, and the bids of many
+// agents overlap, so handle-based bracketing cannot express them.
+func (t *Tracer) RecordSpan(name string, parent *ActiveSpan, startNS, endNS int64, attrs ...Attr) uint64 {
+	if t == nil {
+		return 0
+	}
+	s := Span{Name: name, Parent: parent.ID(), StartNS: startNS, EndNS: endNS}
+	if len(attrs) > 0 {
+		s.Attrs = append([]Attr(nil), attrs...)
+	}
+	t.mu.Lock()
+	t.spanSeq++
+	s.ID = t.spanSeq
+	if len(t.spanRing) < cap(t.spanRing) {
+		t.spanRing = append(t.spanRing, s)
+	} else {
+		t.spanRing[int(t.spanDone%uint64(cap(t.spanRing)))] = s
+		t.droppedSpans++
+	}
+	t.spanDone++
+	t.mu.Unlock()
+	return s.ID
+}
+
 // Spans returns a copy of the retained completed spans in completion
 // order. Nil tracer returns nil.
 func (t *Tracer) Spans() []Span {
