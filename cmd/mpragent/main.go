@@ -29,6 +29,7 @@ func main() {
 		alpha   = flag.Float64("alpha", 1, "perceived cost coefficient (>= 1)")
 		watts   = flag.Float64("watts", 125, "dynamic watts per core")
 		quad    = flag.Bool("quadratic", false, "use quadratic instead of linear cost")
+		wire    = flag.String("wire", "json", "wire format: json (lines) or binary (length-prefixed frames)")
 	)
 	flag.Parse()
 	if *job == "" {
@@ -56,6 +57,7 @@ func main() {
 		WattsPerCore: *watts,
 		MaxFrac:      prof.MaxReduction(),
 		Strategy:     &core.RationalBidder{Cores: *cores, Model: model},
+		Wire:         *wire,
 		OnOrder: func(red, price, pay float64) {
 			cost := *cores * model.Cost(red / *cores)
 			log.Printf("order: reduce %.3f cores at price %.4f → payment %.4f, cost %.4f, net gain %.4f",

@@ -14,6 +14,18 @@
 // records each intermediate price in the mpr_mgr_stream_price series; the
 // wire protocol and the converged prices are unchanged.
 //
+// The daemon accepts both agent wire formats on one port: JSON lines
+// (the original protocol, unchanged byte for byte) and the negotiated
+// length-prefixed binary framing — agents pick per connection. -shards
+// splits the fleet across N connection-manager event loops; -evict
+// bounds how many consecutive round deadlines a slow agent may miss
+// before it is evicted with a typed reason. With -state FILE the daemon
+// snapshots its market + registration state (a versioned mprstate/v1
+// JSON artifact) on every exit path including SIGTERM; -restore loads
+// that file at boot, and restored agents keep their last bids — the
+// paper's "proceed with last information" rule — until they reconnect
+// and rebid.
+//
 // With -metrics ADDR (e.g. -metrics :9090) the daemon serves its full
 // observability surface over HTTP: Prometheus text (or ?format=json) at
 // /metrics, the last clearing rounds at /debug/market, hierarchical
@@ -55,6 +67,10 @@ func run() int {
 		wait      = flag.Duration("wait", 30*time.Second, "how long to wait for agents")
 		metrics   = flag.String("metrics", "", "HTTP address serving the observability surface (empty = disabled)")
 		stream    = flag.Bool("stream", false, "continuously-clearing market: re-clear incrementally on every incoming bid")
+		shards    = flag.Int("shards", 0, "connection manager shards (0 = one per CPU, capped at 16)")
+		evict     = flag.Int("evict", 0, "evict agents after this many consecutive missed round deadlines (0 = default 3, negative = never)")
+		statePath = flag.String("state", "", "snapshot market+registration state to this file on shutdown (mprstate/v1)")
+		restore   = flag.Bool("restore", false, "restore state from -state at boot; restored agents keep their last bids until they rebid")
 		sample    = flag.Duration("sample", time.Second, "wall-clock series sampling interval")
 		tracelog  = flag.String("tracelog", "", "file receiving every trace event as JSONL (flushed on shutdown)")
 		serieslog = flag.String("serieslog", "", "file receiving the series store on shutdown (.csv for CSV, else JSONL)")
@@ -75,6 +91,12 @@ func run() int {
 			}
 			return m.AgentCount()
 		},
+		Evictions: func() int64 {
+			if m == nil {
+				return 0
+			}
+			return m.Evictions()
+		},
 		Logf: log.Printf,
 	})
 	if err != nil {
@@ -90,9 +112,11 @@ func run() int {
 	}()
 
 	mcfg := agentproto.ManagerConfig{
-		Logf:      log.Printf,
-		Telemetry: o.reg,
-		Tracer:    o.tracer,
+		Logf:             log.Printf,
+		Telemetry:        o.reg,
+		Tracer:           o.tracer,
+		Shards:           *shards,
+		EvictAfterMisses: *evict,
 	}
 	if *stream {
 		mcfg.Streaming = true
@@ -100,12 +124,42 @@ func run() int {
 			o.recordStreamUpdate(price)
 		}
 	}
+	if *restore && *statePath == "" {
+		log.Print("mprd: -restore needs -state")
+		return 1
+	}
 	m, err = agentproto.NewManager(*listen, mcfg)
 	if err != nil {
 		log.Print(err)
 		return 1
 	}
 	defer m.Close()
+	if *restore {
+		st, err := agentproto.ReadStateFile(*statePath)
+		if err != nil {
+			log.Printf("restoring state: %v", err)
+			return 1
+		}
+		if err := m.RestoreState(st); err != nil {
+			log.Printf("restoring state: %v", err)
+			return 1
+		}
+		log.Printf("restored %d agents (last price %.4f) from %s; their last bids hold until they rebid",
+			m.RestoredPending(), m.LastPrice(), *statePath)
+	}
+	if *statePath != "" {
+		// Runs before the deferred m.Close (LIFO), so the roster is still
+		// live when the snapshot is cut — on SIGTERM, stdin EOF, 'quit',
+		// or one-shot completion alike.
+		defer func() {
+			st := m.SnapshotState(time.Now().UnixNano())
+			if err := agentproto.WriteStateFile(*statePath, st); err != nil {
+				log.Printf("writing state snapshot: %v", err)
+				return
+			}
+			log.Printf("state snapshot (%d agents) written to %s", len(st.Agents), *statePath)
+		}()
+	}
 	log.Printf("mprd listening on %s, waiting for %d agents", m.Addr(), *agents)
 
 	if *metrics != "" {

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"mpr/internal/agentproto"
+	"mpr/internal/core"
+)
+
+// TestStateFileSchema validates an mprd state snapshot against the
+// mprstate/v1 schema: strict decoding (field drift fails the test,
+// forcing a schema bump), plus semantic floor checks on what -restore
+// relies on. By default it generates a fresh snapshot from a tiny
+// in-process market; point MPRD_STATE_JSON at a snapshot file to
+// validate that instead — e.g. one a crashed daemon left behind.
+func TestStateFileSchema(t *testing.T) {
+	var data []byte
+	if external := os.Getenv("MPRD_STATE_JSON"); external != "" {
+		var err error
+		data, err = os.ReadFile(external)
+		if err != nil {
+			t.Fatalf("reading state snapshot: %v", err)
+		}
+	} else {
+		m, err := agentproto.NewManager("127.0.0.1:0", agentproto.ManagerConfig{
+			RoundTimeout: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		for i, job := range []string{"state-a", "state-b"} {
+			mgrEnd, agentEnd := net.Pipe()
+			if err := m.ServeConn(mgrEnd); err != nil {
+				t.Fatal(err)
+			}
+			a, err := agentproto.DialConn(agentEnd, agentproto.AgentConfig{
+				JobID: job, Cores: 32, WattsPerCore: 125, MaxFrac: 0.4,
+				Strategy: &core.StaticBidder{Fixed: core.Bid{Delta: 4 + float64(i), B: 1.5}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for m.AgentCount() < 2 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if _, err := m.RunMarket(500); err != nil {
+			t.Fatal(err)
+		}
+		data, err = json.Marshal(m.SnapshotState(time.Now().UnixNano()))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var st agentproto.State
+	if err := dec.Decode(&st); err != nil {
+		t.Fatalf("strict decode: %v", err)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatalf("semantic validation: %v", err)
+	}
+	if st.Schema != agentproto.StateSchema {
+		t.Fatalf("schema = %q, want %q", st.Schema, agentproto.StateSchema)
+	}
+	if st.MarketSeq < 0 {
+		t.Errorf("market_seq = %d, want ≥ 0", st.MarketSeq)
+	}
+	if st.MarketSeq > 0 && st.LastPrice < 0 {
+		t.Errorf("last_price = %g, want ≥ 0 after %d markets", st.LastPrice, st.MarketSeq)
+	}
+	for i, a := range st.Agents {
+		if i > 0 && st.Agents[i-1].JobID >= a.JobID {
+			t.Errorf("agents not sorted by job_id at %d (%q ≥ %q)",
+				i, st.Agents[i-1].JobID, a.JobID)
+		}
+		switch a.Wire {
+		case "", agentproto.WireJSON, agentproto.WireBinary:
+		default:
+			t.Errorf("agent %s: unknown wire %q", a.JobID, a.Wire)
+		}
+	}
+	// Generated path only: the cleared market must have left seed bids.
+	if os.Getenv("MPRD_STATE_JSON") == "" {
+		if st.MarketSeq != 1 {
+			t.Errorf("market_seq = %d, want 1", st.MarketSeq)
+		}
+		if len(st.Agents) != 2 {
+			t.Fatalf("agents = %d, want 2", len(st.Agents))
+		}
+		for _, a := range st.Agents {
+			if !a.HasBid {
+				t.Errorf("agent %s has no seed bid after a cleared market", a.JobID)
+			}
+		}
+	}
+}

@@ -27,6 +27,11 @@ const (
 	// seriesBidRTTP99 tracks the p99 of the manager's price→bid HDR
 	// histogram, sampled each tick once the market has registered it.
 	seriesBidRTTP99 = "mpr_mgr_bid_rtt_p99_seconds"
+	// seriesEvictions records slow-agent evictions (deadline-budget +
+	// write-stall) per sampling interval — deltas, not the cumulative
+	// count, so the EvictionBurst manager rule can tell a burst from an
+	// old total. Visible in /debug/series next to the fleet size.
+	seriesEvictions = "mpr_mgr_evictions"
 )
 
 // obsConfig parameterizes the daemon's observability runtime.
@@ -41,6 +46,8 @@ type obsConfig struct {
 	SeriesLogPath string
 	// AgentCount reports the number of connected agents.
 	AgentCount func() int
+	// Evictions reports the cumulative slow-agent evictions (optional).
+	Evictions func() int64
 	// Logf receives alert firings and flush diagnostics.
 	Logf func(format string, args ...interface{})
 	// Clock drives the sampler (tests inject tsdb.FakeClock).
@@ -63,6 +70,7 @@ type obs struct {
 
 	sampler   *tsdb.TickerSampler
 	start     time.Time
+	lastEvict int64
 	traceFile *os.File
 	traceBuf  *bufio.Writer
 
@@ -122,6 +130,11 @@ func newObs(c obsConfig) (*obs, error) {
 // sample records one wall-clock observation.
 func (o *obs) sample(now time.Time) {
 	o.agentsSeries.Append(now.Unix(), float64(o.cfg.AgentCount()))
+	if o.cfg.Evictions != nil {
+		cur := o.cfg.Evictions()
+		o.store.Series(seriesEvictions).Append(now.Unix(), float64(cur-o.lastEvict))
+		o.lastEvict = cur
+	}
 	o.droppedGauge.Set(float64(o.tracer.Dropped()))
 	// The agentproto manager registers its RTT histogram lazily, so look
 	// it up (never create) each tick and sample the tail once it has data.

@@ -35,21 +35,23 @@ const metricRoundTrip = "mpr_load_round_trip_seconds"
 
 // loadConfig is the resolved run configuration.
 type loadConfig struct {
-	Agents    int
-	Connect   string // empty = selfhost an in-process manager
-	Transport string // selfhost attachment: "pipe" (fd-free) or "tcp"
-	Mode      string // "open" (markets on a fixed cadence) or "closed" (back-to-back)
-	Duration  time.Duration
-	Interval  time.Duration // open-loop market period
-	Dist      string        // reluctance distribution: uniform | lognormal | bimodal
-	Seed      int64
-	Workers   int     // dial fan-out pool (0 = GOMAXPROCS)
-	TargetFrac float64 // emergency target as a fraction of the fleet's max reduction W
-	Stream    bool    // selfhost manager in streaming (incremental clear) mode
-	Jitter    float64 // per-round relative bid perturbation, keeps prices moving
-	Sample    time.Duration
+	Agents       int
+	Connect      string // empty = selfhost an in-process manager
+	Transport    string // selfhost attachment: "pipe" (fd-free) or "tcp"
+	Mode         string // "open" (markets on a fixed cadence) or "closed" (back-to-back)
+	Duration     time.Duration
+	Interval     time.Duration // open-loop market period
+	Dist         string        // reluctance distribution: uniform | lognormal | bimodal
+	Seed         int64
+	Workers      int     // dial fan-out pool (0 = GOMAXPROCS)
+	TargetFrac   float64 // emergency target as a fraction of the fleet's max reduction W
+	Stream       bool    // selfhost manager in streaming (incremental clear) mode
+	Jitter       float64 // per-round relative bid perturbation, keeps prices moving
+	Sample       time.Duration
 	RoundTimeout time.Duration
-	Logf      func(format string, args ...interface{})
+	Wire         string // agent wire: "json" (lines) or "binary" (length-prefixed frames)
+	Shards       int    // selfhost manager connection shards (0 = default)
+	Logf         func(format string, args ...interface{})
 }
 
 func (c *loadConfig) normalize() error {
@@ -85,6 +87,17 @@ func (c *loadConfig) normalize() error {
 	}
 	if c.RoundTimeout <= 0 {
 		c.RoundTimeout = 2 * time.Second
+	}
+	if c.Wire == "" {
+		c.Wire = agentproto.WireJSON
+	}
+	switch c.Wire {
+	case agentproto.WireJSON, agentproto.WireBinary:
+	default:
+		return fmt.Errorf("mprload: -wire must be json or binary")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("mprload: -shards must be ≥ 0")
 	}
 	if c.Jitter < 0 || c.Jitter > 1 {
 		return fmt.Errorf("mprload: -jitter must be in [0,1]")
@@ -225,6 +238,7 @@ func (h *harness) connect() error {
 			Telemetry:    h.reg,
 			Tracer:       h.tracer,
 			Streaming:    h.cfg.Stream,
+			Shards:       h.cfg.Shards,
 		})
 		if err != nil {
 			return err
@@ -292,6 +306,7 @@ func (h *harness) dialOne(i int, spec agentSpec) (*agentproto.Agent, error) {
 		WattsPerCore: spec.WattsPerCore,
 		MaxFrac:      spec.MaxFrac,
 		Strategy:     bidder,
+		Wire:         h.cfg.Wire,
 		OnOrder: func(_, price, _ float64) {
 			bidder.reset()
 			if sentinel {
@@ -414,6 +429,8 @@ func (h *harness) run() (*loadReport, error) {
 			Stream:          h.cfg.Stream,
 			Jitter:          h.cfg.Jitter,
 			SampleSeconds:   h.cfg.Sample.Seconds(),
+			Wire:            h.cfg.Wire,
+			Shards:          h.cfg.Shards,
 		},
 		Agents: agentsSection{
 			Requested:  h.cfg.Agents,

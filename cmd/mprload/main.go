@@ -9,7 +9,7 @@
 // into one shared HDR histogram; the harness samples p50/p99/p999 plus
 // the clearing price and fleet-attendance series into an in-memory tsdb,
 // evaluates the alerts.LoadRules SLO scorecard live over those series,
-// and finally emits a versioned mprload/report/v1 JSON artifact
+// and finally emits a versioned mprload/report/v2 JSON artifact
 // (-report) with the latency digests and SLO verdicts.
 //
 // Examples:
@@ -46,7 +46,9 @@ func main() {
 		jitter    = flag.Float64("jitter", 0.1, "per-round relative bid perturbation in [0,1]")
 		sample    = flag.Duration("sample", 250*time.Millisecond, "series sampling period")
 		rtimeout  = flag.Duration("rtimeout", 2*time.Second, "selfhost per-round bid timeout")
-		report    = flag.String("report", "", "write the mprload/report/v1 JSON artifact here (- = stdout)")
+		wire      = flag.String("wire", "json", "agent wire format: json (lines) or binary (length-prefixed frames)")
+		shards    = flag.Int("shards", 0, "selfhost manager connection shards (0 = default)")
+		report    = flag.String("report", "", "write the mprload/report/v2 JSON artifact here (- = stdout)")
 		metrics   = flag.String("metrics", "", "serve /metrics, /debug/* on this address while running")
 		quiet     = flag.Bool("quiet", false, "suppress progress logging")
 	)
@@ -71,6 +73,8 @@ func main() {
 		Jitter:       *jitter,
 		Sample:       *sample,
 		RoundTimeout: *rtimeout,
+		Wire:         *wire,
+		Shards:       *shards,
 		Logf:         logf,
 	}
 	h, err := newHarness(cfg)

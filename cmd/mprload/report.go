@@ -10,7 +10,9 @@ import (
 
 // loadSchema versions the report artifact. Bump it on any field change —
 // TestLoadReportSchema decodes strictly, so drift without a bump fails CI.
-const loadSchema = "mprload/report/v1"
+// v2: config gains wire (json|binary agent transport) and shards (selfhost
+// manager connection shards).
+const loadSchema = "mprload/report/v2"
 
 // loadReport is the versioned JSON artifact one mprload run emits
 // (-report). It is self-describing: the binary that produced it, the
@@ -55,6 +57,8 @@ type configSection struct {
 	Stream          bool    `json:"stream"`
 	Jitter          float64 `json:"jitter"`
 	SampleSeconds   float64 `json:"sample_seconds"`
+	Wire            string  `json:"wire"`
+	Shards          int     `json:"shards"`
 }
 
 type agentsSection struct {

@@ -9,7 +9,7 @@ import (
 )
 
 // TestLoadReportSchema validates an mprload report against the
-// mprload/report/v1 schema: strict decoding (field drift fails the test,
+// mprload/report/v2 schema: strict decoding (field drift fails the test,
 // forcing a schema bump), plus semantic floor checks on the sections CI
 // relies on. By default it generates a fresh report from a tiny
 // in-process run; point MPR_LOAD_JSON at a report file to validate that

@@ -24,6 +24,10 @@ type AgentConfig struct {
 	OnOrder func(reductionCores, price, paymentRate float64)
 	// OnLift, when set, is called when the emergency ends.
 	OnLift func()
+	// Wire selects the transport: WireJSON (default, the backward-
+	// compatible JSON-lines protocol) or WireBinary (length-prefixed
+	// frames negotiated in the hello exchange — see frame.go).
+	Wire string
 }
 
 // Agent is a connected user bidding agent. It answers price announcements
@@ -32,7 +36,11 @@ type AgentConfig struct {
 type Agent struct {
 	cfg   AgentConfig
 	conn  net.Conn
-	codec *Codec
+	codec wireCodec
+
+	// wireVersion is the negotiated binary protocol version (0 on the
+	// JSON transport).
+	wireVersion int
 
 	mu      sync.Mutex
 	lastBid core.Bid
@@ -63,7 +71,20 @@ func DialConn(conn net.Conn, cfg AgentConfig) (*Agent, error) {
 		conn.Close()
 		return nil, err
 	}
-	a := &Agent{cfg: cfg, conn: conn, codec: NewCodec(conn), done: make(chan struct{})}
+	a := &Agent{cfg: cfg, conn: conn, done: make(chan struct{})}
+	if cfg.Wire == WireBinary {
+		// Binary framing opens with the negotiation preamble; the manager
+		// sniffs its first byte to tell us apart from a JSON hello.
+		v, err := negotiateClient(conn, conn)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		a.wireVersion = v
+		a.codec = NewFrameCodec(conn, conn)
+	} else {
+		a.codec = NewCodec(conn)
+	}
 	if err := a.codec.Send(Message{
 		Type:         MsgHello,
 		JobID:        cfg.JobID,
@@ -85,8 +106,15 @@ func (cfg *AgentConfig) validate() error {
 	if cfg.Strategy == nil {
 		return fmt.Errorf("agentproto: agent needs a bidding strategy")
 	}
+	if cfg.Wire != "" && cfg.Wire != WireJSON && cfg.Wire != WireBinary {
+		return fmt.Errorf("agentproto: unknown wire %q (want %q or %q)", cfg.Wire, WireJSON, WireBinary)
+	}
 	return nil
 }
+
+// WireVersion returns the negotiated binary protocol version, 0 when the
+// agent speaks JSON lines.
+func (a *Agent) WireVersion() int { return a.wireVersion }
 
 // Close disconnects the agent.
 func (a *Agent) Close() error { return a.conn.Close() }

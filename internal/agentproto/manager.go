@@ -1,9 +1,12 @@
 package agentproto
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"math"
 	"net"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -28,8 +31,12 @@ const (
 	// relative error), so tail quantiles are answerable without guessing
 	// bucket bounds up front.
 	MetricBidRTT = "mpr_agent_bid_rtt_seconds"
+	// MetricShardBidRTT is the per-shard bid RTT HDR family; each shard
+	// registers "mpr_mgr_shard_bid_rtt_seconds{shard=\"<i>\"}" so a hot
+	// or skewed shard is visible next to the fleet-wide histogram.
+	MetricShardBidRTT = "mpr_mgr_shard_bid_rtt_seconds"
 	// MetricMalformed counts protocol violations: bad hellos, unexpected
-	// message types, and stale-round bids.
+	// message types, stale-round bids, and unclearable bids.
 	MetricMalformed = "mpr_agent_malformed_messages_total"
 	// MetricMarkets counts finished RunMarket invocations; MetricRounds
 	// the price rounds across them.
@@ -41,6 +48,16 @@ const (
 	// MetricStreamUpdates counts incremental re-clears in streaming
 	// markets: one per incoming bid applied to the stream engine.
 	MetricStreamUpdates = "mpr_manager_stream_updates_total"
+	// MetricEvictions counts slow-agent evictions, labeled by
+	// DisconnectReason ("deadline_budget", "write_stall").
+	MetricEvictions = "mpr_mgr_evictions_total"
+	// MetricCoalescedBids counts bids coalesced away by the one-slot
+	// mailboxes: an agent that sends k bids within one round contributes
+	// k−1 here and exactly one bid to the clear.
+	MetricCoalescedBids = "mpr_mgr_coalesced_bids_total"
+	// MetricWireAgents counts registrations by negotiated transport,
+	// labeled "json" or "binary".
+	MetricWireAgents = "mpr_mgr_wire_agents_total"
 )
 
 // ManagerConfig parameterizes the market manager daemon.
@@ -54,8 +71,21 @@ type ManagerConfig struct {
 	Tolerance float64
 	// RoundTimeout bounds how long the manager waits for each round's
 	// bids — the paper's safety timeout ("e.g., 30 seconds" overall).
+	// It doubles as the write deadline on price/order broadcasts.
 	// Default 2 s per round.
 	RoundTimeout time.Duration
+	// Shards is the number of connection-manager shards. Each shard runs
+	// a bounded event loop that owns all writes, bid harvesting, and
+	// eviction decisions for its slice of the fleet; agents are assigned
+	// round-robin at registration. Clearing prices are bit-identical for
+	// any shard count (bids are merged in roster order before the clear
+	// — TestShardDeterminism). Default min(GOMAXPROCS, 16).
+	Shards int
+	// EvictAfterMisses is the slow-agent deadline-miss budget: an agent
+	// that misses this many consecutive round deadlines is evicted with
+	// ReasonDeadlineBudget (typed error on the wire, counted in
+	// mpr_mgr_evictions_total). Default 3; negative disables eviction.
+	EvictAfterMisses int
 	// Logf, when set, receives protocol diagnostics. Nil is safe and
 	// logs nothing — library users need not wire logging.
 	Logf func(format string, args ...interface{})
@@ -93,24 +123,74 @@ func (c *ManagerConfig) normalize() {
 	if c.RoundTimeout <= 0 {
 		c.RoundTimeout = 2 * time.Second
 	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 16 {
+			c.Shards = 16
+		}
+	}
+	if c.EvictAfterMisses == 0 {
+		c.EvictAfterMisses = 3
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...interface{}) {}
 	}
 }
 
+// Wire transport names, as negotiated per connection.
+const (
+	WireJSON   = "json"
+	WireBinary = "binary"
+)
+
 // agentConn is one connected bidding agent.
 type agentConn struct {
 	conn  net.Conn
-	codec *Codec
+	codec wireCodec
 	hello Message
-	bids  chan Message
-	mu    sync.Mutex // guards codec writes
+	wire  string // WireJSON or WireBinary
+	shard *shard
+
+	// dropped flips exactly once when the connection is closed by either
+	// side; it gates shard writes and double-eviction.
+	dropped atomic.Bool
+
+	// Loop-owned round state (only the owning shard's event loop touches
+	// these): roster index of the in-flight market and consecutive
+	// deadline misses toward the eviction budget.
+	idx    int
+	missed int
+
+	// mbMu guards the inbound mailbox plus the last-accepted-bid record
+	// (fed by harvests, read by snapshots and market seeding).
+	mbMu    sync.Mutex
+	mb      mailbox
+	lastBid core.Bid
+	hasLast bool
+	// seed is a bid restored from an mprstate snapshot; it stands in for
+	// lastBid until the first live bid is harvested.
+	seed    core.Bid
+	hasSeed bool
 }
 
-func (a *agentConn) send(m Message) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.codec.Send(m)
+// seedBid returns the bid a market (or snapshot) should assume for this
+// agent before it bids: the last harvested live bid, else the restored
+// seed. Callers hold mbMu.
+func (a *agentConn) seedBid() (core.Bid, bool) {
+	if a.hasLast {
+		return a.lastBid, true
+	}
+	if a.hasSeed {
+		return a.seed, true
+	}
+	return core.Bid{}, false
+}
+
+// readWriter splits a connection whose read side is buffered (for the
+// transport sniff) from its write side.
+type readWriter struct {
+	io.Reader
+	io.Writer
 }
 
 // Manager is the market facilitator: it accepts agent registrations over
@@ -119,26 +199,46 @@ type Manager struct {
 	cfg      ManagerConfig
 	listener net.Listener
 
-	mu     sync.Mutex
-	agents map[string]*agentConn
-	closed bool
+	mu        sync.Mutex
+	agents    map[string]*agentConn
+	restored  map[string]AgentState // snapshot agents awaiting reconnect
+	lastPrice float64
+	nextShard int
+	closed    bool
+
+	shards []*shard
+	stop   chan struct{}
 	wg     sync.WaitGroup
+
+	// marketMu serializes RunMarket: rounds own the shard loops.
+	marketMu sync.Mutex
+
+	// curRound is the round number bids must echo to be accepted; 0
+	// outside a market.
+	curRound atomic.Int64
 
 	// marketSeq numbers RunMarket invocations; it seeds each market's
 	// trace ID ("m<seq>") and the per-round IDs broadcast on the wire.
 	marketSeq atomic.Uint64
 
+	evictTotal atomic.Int64
+
 	// Telemetry handles; all nil (no-op) without a configured registry.
-	connects      *telemetry.Counter
-	disconnects   *telemetry.Counter
-	rejected      *telemetry.Counter
-	connected     *telemetry.Gauge
-	bidRTT        *hdr.Histogram
-	malformed     *telemetry.Counter
-	markets       *telemetry.Counter
-	rounds        *telemetry.Counter
-	timeouts      *telemetry.Counter
-	streamUpdates *telemetry.Counter
+	connects        *telemetry.Counter
+	disconnects     *telemetry.Counter
+	rejected        *telemetry.Counter
+	connected       *telemetry.Gauge
+	bidRTT          *hdr.Histogram
+	malformed       *telemetry.Counter
+	markets         *telemetry.Counter
+	rounds          *telemetry.Counter
+	timeouts        *telemetry.Counter
+	streamUpdates   *telemetry.Counter
+	coalesced       *telemetry.Counter
+	evictDeadline   *telemetry.Counter
+	evictWriteStall *telemetry.Counter
+	wireJSON        *telemetry.Counter
+	wireBinary      *telemetry.Counter
 }
 
 // logf forwards to cfg.Logf when set; safe even on an un-normalized
@@ -156,7 +256,7 @@ func NewManager(addr string, cfg ManagerConfig) (*Manager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("agentproto: listen: %w", err)
 	}
-	m := &Manager{cfg: cfg, listener: ln, agents: make(map[string]*agentConn)}
+	m := &Manager{cfg: cfg, listener: ln, agents: make(map[string]*agentConn), stop: make(chan struct{})}
 	if reg := cfg.Telemetry; reg != nil {
 		events := reg.CounterFamily(MetricAgentEvents, "Agent lifecycle events.", "event")
 		m.connects = events.With("connect")
@@ -164,11 +264,28 @@ func NewManager(addr string, cfg ManagerConfig) (*Manager, error) {
 		m.rejected = events.With("rejected")
 		m.connected = reg.Gauge(MetricAgentsConnected, "Currently registered agents.")
 		m.bidRTT = reg.HDR(MetricBidRTT, "RespondBid round-trip latency in seconds (HDR).")
-		m.malformed = reg.Counter(MetricMalformed, "Protocol violations: bad hellos, unexpected types, stale-round bids.")
+		m.malformed = reg.Counter(MetricMalformed, "Protocol violations: bad hellos, unexpected types, stale-round or unclearable bids.")
 		m.markets = reg.Counter(MetricMarkets, "Finished RunMarket invocations.")
 		m.rounds = reg.Counter(MetricRounds, "Price rounds across all markets.")
 		m.timeouts = reg.Counter(MetricBidTimeouts, "Rounds that timed out before all bids arrived.")
 		m.streamUpdates = reg.Counter(MetricStreamUpdates, "Incremental re-clears applied by streaming markets.")
+		m.coalesced = reg.Counter(MetricCoalescedBids, "Bids coalesced away by one-slot per-agent mailboxes.")
+		evictions := reg.CounterFamily(MetricEvictions, "Slow-agent evictions by typed reason.", "reason")
+		m.evictDeadline = evictions.With(string(ReasonDeadlineBudget))
+		m.evictWriteStall = evictions.With(string(ReasonWriteStall))
+		wires := reg.CounterFamily(MetricWireAgents, "Agent registrations by negotiated transport.", "wire")
+		m.wireJSON = wires.With(WireJSON)
+		m.wireBinary = wires.With(WireBinary)
+	}
+	m.shards = make([]*shard, cfg.Shards)
+	for i := range m.shards {
+		m.shards[i] = newShard(m, i)
+		if reg := cfg.Telemetry; reg != nil {
+			m.shards[i].rtt = reg.HDR(MetricShardBidRTT+`{shard="`+strconv.Itoa(i)+`"}`,
+				"Per-shard RespondBid round-trip latency in seconds (HDR).")
+		}
+		m.wg.Add(1)
+		go m.shards[i].loop()
 	}
 	m.wg.Add(1)
 	go m.acceptLoop()
@@ -185,6 +302,13 @@ func (m *Manager) AgentCount() int {
 	return len(m.agents)
 }
 
+// Shards reports the configured shard count.
+func (m *Manager) Shards() int { return len(m.shards) }
+
+// Evictions reports the total slow-agent evictions across all typed
+// reasons — the scalar mprd samples into its eviction time series.
+func (m *Manager) Evictions() int64 { return m.evictTotal.Load() }
+
 // Close shuts the manager down and disconnects all agents.
 func (m *Manager) Close() error {
 	m.mu.Lock()
@@ -198,6 +322,7 @@ func (m *Manager) Close() error {
 		agents = append(agents, a)
 	}
 	m.mu.Unlock()
+	close(m.stop)
 	err := m.listener.Close()
 	for _, a := range agents {
 		a.conn.Close()
@@ -218,9 +343,35 @@ func (m *Manager) acceptLoop() {
 	}
 }
 
+// serve sniffs the transport (a binary agent's first byte is the 'M' of
+// the negotiation preamble; a JSON-lines hello starts with '{'),
+// completes version negotiation when binary, validates the hello, and
+// then runs the connection's read loop, feeding bids into the agent's
+// mailbox. All writes after registration happen on the owning shard's
+// event loop.
 func (m *Manager) serve(conn net.Conn) {
 	defer m.wg.Done()
-	codec := NewCodec(conn)
+	br := bufio.NewReaderSize(conn, 512)
+	first, err := br.Peek(1)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	var codec wireCodec
+	wire := WireJSON
+	if first[0] == preambleMagicReq[0] {
+		if _, err := negotiateServer(br, conn); err != nil {
+			m.malformed.Inc()
+			m.rejected.Inc()
+			m.logf("binary negotiation failed: %v", err)
+			conn.Close()
+			return
+		}
+		codec = NewFrameCodec(br, conn)
+		wire = WireBinary
+	} else {
+		codec = NewCodec(readWriter{Reader: br, Writer: conn})
+	}
 	hello, err := codec.Recv()
 	if err != nil || hello.Type != MsgHello || hello.JobID == "" {
 		m.malformed.Inc()
@@ -236,7 +387,7 @@ func (m *Manager) serve(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	a := &agentConn{conn: conn, codec: codec, hello: hello, bids: make(chan Message, 4)}
+	a := &agentConn{conn: conn, codec: codec, hello: hello, wire: wire}
 
 	m.mu.Lock()
 	if m.closed {
@@ -251,12 +402,26 @@ func (m *Manager) serve(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	a.shard = m.shards[m.nextShard%len(m.shards)]
+	m.nextShard++
+	if r, ok := m.restored[hello.JobID]; ok {
+		delete(m.restored, hello.JobID)
+		if r.HasBid {
+			a.seed = core.Bid{Delta: r.Delta, B: r.B}
+			a.hasSeed = true
+		}
+	}
 	m.agents[hello.JobID] = a
 	n := len(m.agents)
 	m.mu.Unlock()
 	m.connects.Inc()
+	if wire == WireBinary {
+		m.wireBinary.Inc()
+	} else {
+		m.wireJSON.Inc()
+	}
 	m.connected.Set(float64(n))
-	m.logf("agent %s registered (%.0f cores)", hello.JobID, hello.Cores)
+	m.logf("agent %s registered (%.0f cores, %s)", hello.JobID, hello.Cores, wire)
 
 	for {
 		msg, err := codec.Recv()
@@ -264,10 +429,7 @@ func (m *Manager) serve(conn net.Conn) {
 			break
 		}
 		if msg.Type == MsgBid {
-			select {
-			case a.bids <- msg:
-			default: // drop stale bid
-			}
+			m.noteBid(a, msg)
 		} else {
 			// Agents only ever send hellos and bids; anything else is a
 			// confused or hostile peer worth counting.
@@ -275,21 +437,82 @@ func (m *Manager) serve(conn net.Conn) {
 			m.logf("agent %s sent unexpected %s", hello.JobID, msg.Type)
 		}
 	}
+	m.drop(a, ReasonPeerClosed, false)
+}
+
+// noteBid lands an inbound bid in the agent's one-slot mailbox. Bids for
+// any round but the one in flight are stale and discarded; a second bid
+// within the same round overwrites the first (coalesced); an unclearable
+// bid (e.g. negative Δ) still answers the round — so the shard doesn't
+// wait out the deadline — but is flagged invalid and the agent's previous
+// bid stands.
+func (m *Manager) noteBid(a *agentConn, msg Message) {
+	round := int(m.curRound.Load())
+	if round == 0 || msg.Round != round {
+		// Bids must echo the round they answer; anything else is stale
+		// (or fabricated) and is discarded.
+		m.malformed.Inc()
+		return
+	}
+	bid := core.Bid{Delta: msg.Delta, B: msg.B}
+	valid := true
+	if err := bid.Validate(); err != nil {
+		valid = false
+		m.malformed.Inc()
+		m.logf("agent %s bid rejected: %v", a.hello.JobID, err)
+	}
+	now := time.Now().UnixNano()
+	a.mbMu.Lock()
+	first := !(a.mb.has && a.mb.round == round)
+	a.mb = mailbox{round: round, has: true, valid: valid, bid: bid, trace: msg.TraceID, recvNS: now}
+	a.mbMu.Unlock()
+	if first {
+		a.shard.answered.Add(1)
+		select {
+		case a.shard.wake <- struct{}{}:
+		default:
+		}
+	} else {
+		m.coalesced.Inc()
+	}
+}
+
+// drop closes an agent connection exactly once. Evictions (slow agents
+// only — drop is otherwise bookkeeping for a peer that already left)
+// send the typed reason on the wire and count it.
+func (m *Manager) drop(a *agentConn, reason DisconnectReason, evict bool) {
+	if !a.dropped.CompareAndSwap(false, true) {
+		return
+	}
+	if evict {
+		_ = a.conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+		_ = a.codec.Send(Message{Type: MsgError, Reason: EvictedPrefix + string(reason)})
+		m.evictTotal.Add(1)
+		switch reason {
+		case ReasonDeadlineBudget:
+			m.evictDeadline.Inc()
+		case ReasonWriteStall:
+			m.evictWriteStall.Inc()
+		}
+		m.logf("agent %s evicted: %s", a.hello.JobID, reason)
+	}
+	a.conn.Close()
 	m.mu.Lock()
-	delete(m.agents, hello.JobID)
-	n = len(m.agents)
+	if cur, ok := m.agents[a.hello.JobID]; ok && cur == a {
+		delete(m.agents, a.hello.JobID)
+	}
+	n := len(m.agents)
 	m.mu.Unlock()
-	conn.Close()
 	m.disconnects.Inc()
 	m.connected.Set(float64(n))
-	m.logf("agent %s disconnected", hello.JobID)
+	m.logf("agent %s disconnected (%s)", a.hello.JobID, reason)
 }
 
 // ServeConn registers an agent connection that was established out of
 // band — typically one end of a net.Pipe from an in-process load
 // generator, which costs no file descriptors and still exercises the
-// full JSON wire path. The manager owns conn from here on and serves it
-// exactly like an accepted TCP connection.
+// full wire path (JSON or negotiated binary). The manager owns conn from
+// here on and serves it exactly like an accepted TCP connection.
 func (m *Manager) ServeConn(conn net.Conn) error {
 	m.mu.Lock()
 	if m.closed {
@@ -314,10 +537,31 @@ type MarketOutcome struct {
 	TraceID string
 }
 
+// mergedBid is one roster slot's harvested bid for the round in flight.
+type mergedBid struct {
+	has     bool
+	valid   bool
+	jobID   string
+	bid     core.Bid
+	trace   string
+	recvNS  int64
+	bcastNS int64
+}
+
 // RunMarket clears an interactive market for the given power-reduction
 // target over the currently registered agents, sends reduction orders,
 // and returns the outcome.
+//
+// Each round is a scatter/gather over the shards: every shard event loop
+// broadcasts the price to its members, collects their bids (one-slot
+// mailboxes, coalescing floods to the newest), and hands back a batch at
+// the deadline or as soon as all members answered. The batches are
+// merged in roster order before the clear, so the clearing price is
+// bit-identical for any shard count and any bid arrival order.
 func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
+	m.marketMu.Lock()
+	defer m.marketMu.Unlock()
+
 	m.mu.Lock()
 	agents := make([]*agentConn, 0, len(m.agents))
 	for _, a := range m.agents {
@@ -330,32 +574,47 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 	}
 
 	parts := make([]*core.Participant, len(agents))
+	members := make([][]*agentConn, len(m.shards))
 	for i, a := range agents {
+		a.idx = i
 		parts[i] = &core.Participant{
 			JobID:        a.hello.JobID,
 			Cores:        a.hello.Cores,
 			WattsPerCore: a.hello.WattsPerCore,
 			MaxFrac:      a.hello.MaxFrac,
 		}
+		// The paper's timeout rule, extended across markets and restarts:
+		// until an agent bids this market, the clear proceeds on its last
+		// known bid (zero for a fresh connection).
+		a.mbMu.Lock()
+		if b, ok := a.seedBid(); ok {
+			parts[i].Bid = b
+		}
+		a.mbMu.Unlock()
+		members[a.shard.id] = append(members[a.shard.id], a)
+	}
+
+	reply := make(chan shardBatch, len(m.shards))
+	if !m.scatter(shardCmd{kind: cmdInstall, reply: reply}, members) {
+		return nil, fmt.Errorf("agentproto: manager closed")
 	}
 
 	// Every market gets a trace ID "m<seq>"; each round extends it to
 	// "m<seq>.r<round>" and stamps that on the price broadcast. Agents
-	// echo it on their bids, which lets the collector below attribute a
-	// bid to the exact broadcast that prompted it and record a per-agent
+	// echo it on their bids, which lets the merge below attribute a bid
+	// to the exact broadcast that prompted it and record a per-agent
 	// respond_bid span linked under the round.
 	marketTrace := "m" + strconv.FormatUint(m.marketSeq.Add(1), 10)
 
 	// The market runs as a span tree — market → market_round →
 	// respond_bids, plus one externally-timed respond_bid{agent} child
 	// per traced bid — so /debug/spans shows where wall-time went, and
-	// the bid fan-out carries the "mpr_span" pprof label (agent reader
-	// goroutines feeding the bid channels inherit their creator's labels,
-	// so only the collection itself is labeled here).
+	// the scatter/gather carries the "mpr_span" pprof label.
 	mkSpan := m.cfg.Tracer.StartSpan("market", nil)
 	mkSpan.SetAttr("trace", marketTrace)
 	mkSpan.SetAttr("target_w", strconv.FormatFloat(targetW, 'g', -1, 64))
 	mkSpan.SetAttr("agents", strconv.Itoa(len(agents)))
+	mkSpan.SetAttr("shards", strconv.Itoa(len(m.shards)))
 
 	// Streaming mode keeps a continuously-clearing engine over the
 	// participants: each incoming bid is applied incrementally (O(log M))
@@ -372,97 +631,94 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 		mkSpan.SetAttr("mode", "streaming")
 	}
 
+	merged := make([]mergedBid, len(agents))
 	price := m.cfg.InitialPrice
 	res := &core.ClearingResult{}
 	converged := false
 	rounds := 0
+	var marketErr error
 	for round := 1; round <= m.cfg.MaxRounds; round++ {
 		rounds = round
 		roundTrace := marketTrace + ".r" + strconv.Itoa(round)
 		roundSpan := mkSpan.StartChild("market_round")
 		roundSpan.SetAttr("trace", roundTrace)
-		// Broadcast the price and gather this round's bids.
 		bidSpan := roundSpan.StartChild("respond_bids")
+		ok := false
 		telemetry.WithPprofLabels("respond_bids", func() {
-			for _, a := range agents {
-				if err := a.send(Message{Type: MsgPrice, Round: round, Price: price, TargetW: targetW, TraceID: roundTrace}); err != nil {
-					m.logf("price to %s failed: %v", a.hello.JobID, err)
-				}
+			m.curRound.Store(int64(round))
+			cmd := shardCmd{
+				kind:    cmdRound,
+				round:   round,
+				msg:     Message{Type: MsgPrice, Round: round, Price: price, TargetW: targetW, TraceID: roundTrace},
+				timeout: m.cfg.RoundTimeout,
+				reply:   reply,
 			}
-			broadcastAt := time.Now()
-			deadline := time.After(m.cfg.RoundTimeout)
-		collect:
-			for i, a := range agents {
-				for {
-					select {
-					case bid := <-a.bids:
-						if bid.Round != round {
-							// Bids must echo the round they answer; anything
-							// else is stale (or fabricated) and is discarded.
-							m.malformed.Inc()
-							continue
-						}
-						now := time.Now()
-						m.bidRTT.Record(now.Sub(broadcastAt).Seconds())
-						if bid.TraceID == roundTrace {
-							// The agent echoed our trace ID: link a per-agent
-							// respond_bid span under this round, spanning the
-							// broadcast to this bid's receipt. Old-format
-							// agents never echo (empty TraceID) and simply
-							// stay untraced.
-							m.cfg.Tracer.RecordSpan("respond_bid", roundSpan,
-								broadcastAt.UnixNano(), now.UnixNano(),
-								telemetry.Attr{Key: "agent", Value: a.hello.JobID},
-								telemetry.Attr{Key: "trace", Value: roundTrace})
-						}
-						newBid := core.Bid{Delta: bid.Delta, B: bid.B}
-						if stream != nil {
-							p, feasible, err := stream.Apply(core.ParticipantDelta{Index: i, Bid: newBid})
-							if err != nil {
-								// An unclearable bid (e.g. negative Δ) is a
-								// protocol violation, not a market error: count
-								// it and proceed on the agent's previous bid,
-								// which the stream still holds.
-								m.malformed.Inc()
-								m.logf("agent %s bid rejected: %v", a.hello.JobID, err)
-								continue collect
-							}
-							parts[i].Bid = newBid
-							m.streamUpdates.Inc()
-							m.cfg.Tracer.Emit(telemetry.Event{Name: "stream_update", Trace: roundTrace, Round: round,
-								Price: p, TargetW: targetW, Label: a.hello.JobID})
-							if m.cfg.OnStreamUpdate != nil {
-								m.cfg.OnStreamUpdate(a.hello.JobID, round, p, feasible)
-							}
-							continue collect
-						}
-						parts[i].Bid = newBid
-						continue collect
-					case <-deadline:
-						// Keep the agent's previous bid (possibly zero) — the
-						// paper's timeout rule: the market proceeds with the
-						// last information available.
-						m.timeouts.Inc()
-						m.logf("round %d: timeout waiting for %s", round, a.hello.JobID)
-						deadline = closedTimeChan()
-						continue collect
-					}
-				}
+			for i := range merged {
+				merged[i].has = false
 			}
+			ok = m.gatherRound(cmd, merged)
 		})
 		bidSpan.End()
-		var err error
+		if !ok {
+			roundSpan.End()
+			mkSpan.End()
+			return nil, fmt.Errorf("agentproto: manager closed")
+		}
+
+		// Merge in roster order: identical clearing inputs no matter how
+		// bids raced across shards.
+		for i := range merged {
+			e := &merged[i]
+			if !e.has {
+				continue
+			}
+			m.bidRTT.Record(float64(e.recvNS-e.bcastNS) / 1e9)
+			if e.trace == roundTrace {
+				// The agent echoed our trace ID: link a per-agent
+				// respond_bid span under this round, spanning the shard's
+				// broadcast to this bid's receipt. Old-format agents never
+				// echo (empty TraceID) and simply stay untraced.
+				m.cfg.Tracer.RecordSpan("respond_bid", roundSpan,
+					e.bcastNS, e.recvNS,
+					telemetry.Attr{Key: "agent", Value: e.jobID},
+					telemetry.Attr{Key: "trace", Value: roundTrace})
+			}
+			if !e.valid {
+				// Unclearable bid (counted malformed at receipt): the
+				// agent's previous bid stands.
+				continue
+			}
+			if stream != nil {
+				p, feasible, err := stream.Apply(core.ParticipantDelta{Index: i, Bid: e.bid})
+				if err != nil {
+					m.malformed.Inc()
+					m.logf("agent %s bid rejected: %v", e.jobID, err)
+					continue
+				}
+				parts[i].Bid = e.bid
+				m.streamUpdates.Inc()
+				m.cfg.Tracer.Emit(telemetry.Event{Name: "stream_update", Trace: roundTrace, Round: round,
+					Price: p, TargetW: targetW, Label: e.jobID})
+				if m.cfg.OnStreamUpdate != nil {
+					m.cfg.OnStreamUpdate(e.jobID, round, p, feasible)
+				}
+				continue
+			}
+			parts[i].Bid = e.bid
+		}
+
 		if stream != nil {
 			// The round's clear is already solved — the last Apply left the
 			// price cached; materializing reductions reuses res's buffers.
-			err = stream.ClearInto(res)
+			marketErr = stream.ClearInto(res)
 		} else {
-			res, err = core.Clear(parts, targetW)
+			res, marketErr = core.Clear(parts, targetW)
 		}
-		if err != nil {
+		if marketErr != nil {
 			roundSpan.End()
 			mkSpan.End()
-			return nil, err
+			m.curRound.Store(0)
+			return nil, marketErr
 		}
 		m.rounds.Inc()
 		m.cfg.Tracer.Emit(telemetry.Event{Name: "market_round", Trace: roundTrace, Round: round,
@@ -474,9 +730,13 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 		}
 		price = res.Price
 	}
+	m.curRound.Store(0)
 	res.Rounds = rounds
 	res.Converged = converged
 	m.markets.Inc()
+	m.mu.Lock()
+	m.lastPrice = res.Price
+	m.mu.Unlock()
 	mkSpan.SetAttr("rounds", strconv.Itoa(rounds))
 	mkSpan.SetAttr("converged", strconv.FormatBool(converged))
 	mkSpan.End()
@@ -488,40 +748,96 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 		Price: res.Price, TargetW: targetW, SuppliedW: res.SuppliedW, Label: clearLabel})
 
 	out := &MarketOutcome{Result: res, Orders: make(map[string]float64, len(agents)), TraceID: marketTrace}
+	orders := make([][]memberMsg, len(m.shards))
 	for i, a := range agents {
 		red := res.Reductions[i]
 		out.Orders[a.hello.JobID] = red
-		if err := a.send(Message{
+		orders[a.shard.id] = append(orders[a.shard.id], memberMsg{a: a, msg: Message{
 			Type:           MsgOrder,
 			Price:          res.Price,
 			ReductionCores: red,
 			PaymentRate:    res.Price * red,
-		}); err != nil {
-			m.logf("order to %s failed: %v", a.hello.JobID, err)
+		}})
+	}
+	m.deliver(orders, reply)
+	return out, nil
+}
+
+// scatter sends one command per shard (members[i] to shard i, when set)
+// and waits for all acks. False when the manager shut down mid-flight.
+func (m *Manager) scatter(cmd shardCmd, members [][]*agentConn) bool {
+	for i, s := range m.shards {
+		c := cmd
+		if members != nil {
+			c.members = members[i]
+		}
+		if !s.dispatch(c) {
+			return false
 		}
 	}
-	return out, nil
+	for range m.shards {
+		select {
+		case <-cmd.reply:
+		case <-m.stop:
+			return false
+		}
+	}
+	return true
+}
+
+// gatherRound runs one round across all shards and merges the harvested
+// batches into merged (indexed by roster position).
+func (m *Manager) gatherRound(cmd shardCmd, merged []mergedBid) bool {
+	for _, s := range m.shards {
+		if !s.dispatch(cmd) {
+			return false
+		}
+	}
+	for range m.shards {
+		var batch shardBatch
+		select {
+		case batch = <-cmd.reply:
+		case <-m.stop:
+			return false
+		}
+		for _, b := range batch.bids {
+			merged[b.idx] = mergedBid{
+				has: true, valid: b.valid, jobID: b.jobID,
+				bid: b.bid, trace: b.trace, recvNS: b.recvNS, bcastNS: batch.broadcastNS,
+			}
+		}
+	}
+	return true
+}
+
+// deliver writes per-shard message lists on their event loops.
+func (m *Manager) deliver(msgs [][]memberMsg, reply chan shardBatch) {
+	sent := 0
+	for i, s := range m.shards {
+		if len(msgs[i]) == 0 {
+			continue
+		}
+		if !s.dispatch(shardCmd{kind: cmdDeliver, msgs: msgs[i], timeout: m.cfg.RoundTimeout, reply: reply}) {
+			return
+		}
+		sent++
+	}
+	for ; sent > 0; sent-- {
+		select {
+		case <-reply:
+		case <-m.stop:
+			return
+		}
+	}
 }
 
 // Lift broadcasts the end of the emergency.
 func (m *Manager) Lift() {
 	m.mu.Lock()
-	agents := make([]*agentConn, 0, len(m.agents))
+	lifts := make([][]memberMsg, len(m.shards))
 	for _, a := range m.agents {
-		agents = append(agents, a)
+		lifts[a.shard.id] = append(lifts[a.shard.id], memberMsg{a: a, msg: Message{Type: MsgLift}})
 	}
 	m.mu.Unlock()
-	for _, a := range agents {
-		if err := a.send(Message{Type: MsgLift}); err != nil {
-			m.logf("lift to %s failed: %v", a.hello.JobID, err)
-		}
-	}
-}
-
-// closedTimeChan returns an already-fired timer channel so subsequent
-// selects fall through immediately.
-func closedTimeChan() <-chan time.Time {
-	ch := make(chan time.Time)
-	close(ch)
-	return ch
+	m.deliver(lifts, make(chan shardBatch, len(m.shards)))
 }

@@ -74,6 +74,13 @@ type Message struct {
 	Reason string `json:"reason,omitempty"`
 }
 
+// wireCodec is a message transport: the JSON-lines Codec or the binary
+// FrameCodec, chosen per connection by negotiation (see frame.go).
+type wireCodec interface {
+	Send(Message) error
+	Recv() (Message, error)
+}
+
 // Codec frames Messages as JSON lines on a stream.
 type Codec struct {
 	enc *json.Encoder

@@ -1,0 +1,252 @@
+package agentproto
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"mpr/internal/core"
+	"mpr/internal/telemetry/hdr"
+)
+
+// DisconnectReason is the typed reason the manager closes an agent
+// connection. Evictions send the reason to the agent as an error message
+// ("evicted: <reason>") and count it in mpr_mgr_evictions_total{reason}.
+type DisconnectReason string
+
+const (
+	// ReasonDeadlineBudget: the agent missed EvictAfterMisses consecutive
+	// round deadlines — a stalled or glacial bidder holding rounds at the
+	// timeout floor.
+	ReasonDeadlineBudget DisconnectReason = "deadline_budget"
+	// ReasonWriteStall: a broadcast write to the agent missed its
+	// deadline — the peer stopped draining its socket, so every further
+	// send would block the shard's event loop.
+	ReasonWriteStall DisconnectReason = "write_stall"
+	// ReasonPeerClosed: the agent hung up (or its stream errored); not an
+	// eviction.
+	ReasonPeerClosed DisconnectReason = "peer_closed"
+)
+
+// EvictedPrefix prefixes the Reason of the MsgError an evicted agent
+// receives; the suffix is the DisconnectReason.
+const EvictedPrefix = "evicted: "
+
+// mailbox is one agent's bounded inbound bid queue: a single slot holding
+// the latest bid for the round in flight. Agents that flood bids within a
+// round coalesce to the newest (counted in mpr_mgr_coalesced_bids_total);
+// readers therefore never block on the market, which is the backpressure
+// story — there is no unbounded queue anywhere between a socket and the
+// clearing engine.
+type mailbox struct {
+	round  int
+	has    bool
+	valid  bool // bid passed core.Bid validation (invalid still answers the round)
+	bid    core.Bid
+	trace  string
+	recvNS int64
+}
+
+// shardBid is one harvested bid handed from a shard to RunMarket.
+type shardBid struct {
+	idx    int // roster index for this market
+	jobID  string
+	valid  bool
+	bid    core.Bid
+	trace  string
+	recvNS int64
+}
+
+// shardBatch is a shard's answer to one round (or an empty ack for
+// install/deliver commands).
+type shardBatch struct {
+	bids        []shardBid
+	broadcastNS int64 // when this shard finished its price broadcast
+}
+
+type shardCmdKind int
+
+const (
+	cmdInstall shardCmdKind = iota // adopt cmd.members as the market roster
+	cmdRound                       // broadcast price, collect bids until deadline
+	cmdDeliver                     // write prepared messages (orders, lifts)
+)
+
+type shardCmd struct {
+	kind    shardCmdKind
+	members []*agentConn
+	round   int
+	msg     Message // price broadcast for cmdRound
+	timeout time.Duration
+	msgs    []memberMsg // cmdDeliver payload
+	reply   chan shardBatch
+}
+
+type memberMsg struct {
+	a   *agentConn
+	msg Message
+}
+
+// shard is one connection manager: a bounded event loop that owns all
+// writes to its slice of the fleet. Readers stay one goroutine per
+// connection (they block in kernel reads), but everything they produce
+// lands in one-slot mailboxes, and all protocol writes, bid harvesting,
+// and eviction decisions happen on the loop — single-writer, no
+// per-connection write locks, no unbounded fan-out.
+type shard struct {
+	m  *Manager
+	id int
+
+	cmds chan shardCmd
+	// wake is a one-token doorbell: readers ring it after the first bid
+	// fill of a round; the loop re-checks the answered count per ring.
+	wake     chan struct{}
+	answered atomic.Int32
+
+	members []*agentConn // market roster slice; loop-owned
+	batch   []shardBid   // reusable harvest buffer; handed out per round
+
+	rtt *hdr.Histogram // per-shard bid RTT (mpr_mgr_shard_bid_rtt_seconds{shard="i"})
+}
+
+func newShard(m *Manager, id int) *shard {
+	return &shard{m: m, id: id, cmds: make(chan shardCmd, 4), wake: make(chan struct{}, 1)}
+}
+
+// dispatch enqueues a command unless the manager is shutting down.
+func (s *shard) dispatch(cmd shardCmd) bool {
+	select {
+	case s.cmds <- cmd:
+		return true
+	case <-s.m.stop:
+		return false
+	}
+}
+
+func (s *shard) loop() {
+	defer s.m.wg.Done()
+	for {
+		select {
+		case <-s.m.stop:
+			return
+		case cmd := <-s.cmds:
+			switch cmd.kind {
+			case cmdInstall:
+				s.members = cmd.members
+				// Clear leftover mailboxes so a bid stranded after a prior
+				// market's harvest can never alias a same-numbered round.
+				for _, a := range s.members {
+					a.mbMu.Lock()
+					a.mb.has = false
+					a.mbMu.Unlock()
+					a.missed = 0
+				}
+				cmd.reply <- shardBatch{}
+			case cmdRound:
+				s.runRound(cmd)
+			case cmdDeliver:
+				for _, mm := range cmd.msgs {
+					s.sendTo(mm.a, mm.msg, cmd.timeout)
+				}
+				cmd.reply <- shardBatch{}
+			}
+		}
+	}
+}
+
+// sendTo writes one message on the loop with a per-send deadline (a
+// shared absolute deadline would let one stalled peer poison every
+// member after it in the loop), classifying failures: a write timeout
+// means the peer stopped draining and is evicted (write_stall); any
+// other error is a dead peer.
+func (s *shard) sendTo(a *agentConn, msg Message, timeout time.Duration) bool {
+	if a.dropped.Load() {
+		return false
+	}
+	_ = a.conn.SetWriteDeadline(time.Now().Add(timeout))
+	err := a.codec.Send(msg)
+	if err == nil {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		s.m.logf("agent %s write stalled: %v", a.hello.JobID, err)
+		s.m.drop(a, ReasonWriteStall, true)
+	} else {
+		s.m.logf("send to %s failed: %v", a.hello.JobID, err)
+		s.m.drop(a, ReasonPeerClosed, false)
+	}
+	return false
+}
+
+// runRound broadcasts the round's price to the shard's members, waits
+// until every live member has answered (or the round deadline), then
+// harvests the mailboxes into a batch for RunMarket. Deadline-missing
+// members burn one unit of their miss budget and are evicted when it
+// runs out.
+func (s *shard) runRound(cmd shardCmd) {
+	s.answered.Store(0)
+	select { // drain a stale doorbell token from a late prior-round bid
+	case <-s.wake:
+	default:
+	}
+	live := int32(0)
+	for _, a := range s.members {
+		if s.sendTo(a, cmd.msg, cmd.timeout) {
+			live++
+		}
+	}
+	broadcastNS := time.Now().UnixNano()
+	// The collect timeout starts when the broadcast ends, mirroring the
+	// old collector, so huge shards aren't charged their own send time.
+	timer := time.NewTimer(cmd.timeout)
+wait:
+	for s.answered.Load() < live {
+		select {
+		case <-s.wake:
+		case <-timer.C:
+			break wait
+		case <-s.m.stop:
+			break wait
+		}
+	}
+	timer.Stop()
+
+	batch := s.batch[:0]
+	for _, a := range s.members {
+		a.mbMu.Lock()
+		mb := a.mb
+		got := mb.has && mb.round == cmd.round
+		if got {
+			a.mb.has = false
+			if mb.valid {
+				a.lastBid, a.hasLast = mb.bid, true
+			}
+		}
+		a.mbMu.Unlock()
+		if !got {
+			// One timeout per unanswered member per round — including
+			// already-dropped ones, matching the old per-connection
+			// collector's accounting.
+			s.m.timeouts.Inc()
+			s.m.logf("round %d: timeout waiting for %s", cmd.round, a.hello.JobID)
+			if a.dropped.Load() {
+				continue
+			}
+			a.missed++
+			if budget := s.m.cfg.EvictAfterMisses; budget > 0 && a.missed >= budget {
+				s.m.drop(a, ReasonDeadlineBudget, true)
+			}
+			continue
+		}
+		a.missed = 0
+		s.rtt.Record(float64(mb.recvNS-broadcastNS) / 1e9)
+		batch = append(batch, shardBid{
+			idx: a.idx, jobID: a.hello.JobID, valid: mb.valid,
+			bid: mb.bid, trace: mb.trace, recvNS: mb.recvNS,
+		})
+	}
+	s.batch = batch // keep the grown buffer for the next round
+	cmd.reply <- shardBatch{bids: batch, broadcastNS: broadcastNS}
+}

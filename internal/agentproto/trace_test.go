@@ -62,6 +62,39 @@ func TestWireFormatPinned(t *testing.T) {
 			}
 		})
 	}
+
+	// Version negotiation is part of the wire ABI too: a binary agent's
+	// very first bytes are "MPRB"+maxVersion, the manager answers
+	// "MPRA"+chosenVersion, and a JSON-lines connection sends neither —
+	// its first byte is the '{' of the hello, which is how the manager
+	// tells the transports apart. Pin all three facts.
+	t.Run("binary negotiation preamble", func(t *testing.T) {
+		var agentOut bytes.Buffer
+		v, err := negotiateClient(bytes.NewReader([]byte("MPRA\x01")), &agentOut)
+		if err != nil || v != 1 {
+			t.Fatalf("negotiateClient: v=%d err=%v", v, err)
+		}
+		if got := agentOut.String(); got != "MPRB\x01" {
+			t.Errorf("client preamble %q, want %q", got, "MPRB\x01")
+		}
+		var mgrOut bytes.Buffer
+		v, err = negotiateServer(bytes.NewReader([]byte("MPRB\x01")), &mgrOut)
+		if err != nil || v != 1 {
+			t.Fatalf("negotiateServer: v=%d err=%v", v, err)
+		}
+		if got := mgrOut.String(); got != "MPRA\x01" {
+			t.Errorf("server ack %q, want %q", got, "MPRA\x01")
+		}
+		// The sniff byte that keeps old JSON agents working unchanged:
+		// every JSON hello opens with '{', never the preamble magic 'M'.
+		var jbuf bytes.Buffer
+		if err := NewCodec(&jbuf).Send(Message{Type: MsgHello, JobID: "j1", Cores: 1, WattsPerCore: 1, MaxFrac: 0.4}); err != nil {
+			t.Fatal(err)
+		}
+		if jbuf.Bytes()[0] != '{' || jbuf.Bytes()[0] == 'M' {
+			t.Errorf("JSON hello first byte %q collides with the binary sniff", jbuf.Bytes()[0])
+		}
+	})
 }
 
 // TestTracePropagationSpans runs a traced market and checks that every

@@ -286,5 +286,10 @@ func ManagerRules() []Rule {
 			Op: GT, Threshold: 0, ForSamples: 1,
 			Help: "a live market cleared less reduction than the emergency target",
 		},
+		{
+			Name: "EvictionBurst", Series: "mpr_mgr_evictions",
+			Op: GT, Threshold: 0, WindowSamples: 10, BurnFrac: 0.3,
+			Help: "slow-agent evictions in over 30% of the trailing sampling window — the fleet is stalling, not just one sick agent",
+		},
 	}
 }

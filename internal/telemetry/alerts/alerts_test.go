@@ -166,3 +166,29 @@ func TestLoadRulesFire(t *testing.T) {
 		t.Errorf("healthy run fired %+v", f)
 	}
 }
+
+// TestEvictionBurstRule exercises the manager rule over the per-sample
+// eviction series: one sick agent evicted once stays quiet; sustained
+// evictions across the window fire.
+func TestEvictionBurstRule(t *testing.T) {
+	// 1 eviction in 10 samples: a single slow agent, not a burst.
+	quiet := []tsdb.SeriesData{
+		rawSeries("mpr_mgr_evictions", nil,
+			[]float64{0, 0, 1, 0, 0, 0, 0, 0, 0, 0}),
+	}
+	if f := Eval(ManagerRules(), quiet); len(f) != 0 {
+		t.Errorf("single eviction fired %+v", f)
+	}
+	// Evictions in 4 of the trailing 10 samples: the fleet is stalling.
+	burst := []tsdb.SeriesData{
+		rawSeries("mpr_mgr_evictions", nil,
+			[]float64{0, 1, 3, 0, 2, 0, 0, 1, 0, 0}),
+	}
+	firings := Eval(ManagerRules(), burst)
+	if len(firings) != 1 || firings[0].Rule != "EvictionBurst" {
+		t.Fatalf("burst firings = %+v, want one EvictionBurst", firings)
+	}
+	if firings[0].Value != 3 || firings[0].Samples != 4 {
+		t.Errorf("firing = %+v, want worst 3 over 4 samples", firings[0])
+	}
+}
