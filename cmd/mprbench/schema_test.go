@@ -6,14 +6,18 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"mpr/internal/sim"
 )
 
 // TestBenchSweepSchema validates the committed BENCH_sweep.json against
 // the current -benchout schema: strict decoding (field drift fails the
-// test, forcing a schema bump plus a regeneration), the v2 schema tag,
-// and sane per-experiment and per-stream-row values. Point
-// MPR_BENCH_JSON at a freshly written report to validate that instead —
-// the CI bench smoke does exactly that after a quick -stream run.
+// test, forcing a schema bump plus a regeneration), the v3 schema tag,
+// and sane per-experiment, per-stream-row, and per-engine values —
+// including the event core's ≥ 10× speedup on the sparse long-horizon
+// workload. Point MPR_BENCH_JSON at a freshly written report to
+// validate that instead — the CI bench smoke does exactly that after a
+// quick -stream -engines run.
 func TestBenchSweepSchema(t *testing.T) {
 	path := os.Getenv("MPR_BENCH_JSON")
 	if path == "" {
@@ -30,7 +34,10 @@ func TestBenchSweepSchema(t *testing.T) {
 		t.Fatalf("decoding %s: %v", path, err)
 	}
 	if r.Schema != benchSchema {
-		t.Fatalf("schema = %q, want %q (regenerate with `go run ./cmd/mprbench -exp all -stream -benchout BENCH_sweep.json`)", r.Schema, benchSchema)
+		t.Fatalf("schema = %q, want %q (regenerate with `go run ./cmd/mprbench -exp all -stream -engines -benchout BENCH_sweep.json`)", r.Schema, benchSchema)
+	}
+	if _, err := sim.ParseEngine(r.Engine); err != nil {
+		t.Errorf("engine field: %v", err)
 	}
 	if r.GoVersion == "" {
 		t.Error("go_version is empty")
@@ -87,5 +94,45 @@ func TestBenchSweepSchema(t *testing.T) {
 	}
 	if largest < 100000 {
 		t.Errorf("largest stream sweep size is %d, want the 100k+ regime covered", largest)
+	}
+
+	if len(r.Engines) == 0 {
+		t.Fatal("engines section is empty (regenerate with -engines)")
+	}
+	rows := map[string]benchEngineReport{}
+	for _, e := range r.Engines {
+		if _, dup := rows[e.Engine]; dup {
+			t.Errorf("engine %q appears twice", e.Engine)
+		}
+		rows[e.Engine] = e
+		if e.Slots < 1_000_000 {
+			t.Errorf("engine %s: %d slots — not the sparse long-horizon shape", e.Engine, e.Slots)
+		}
+		if e.Jobs <= 0 {
+			t.Errorf("engine %s: non-positive job count %d", e.Engine, e.Jobs)
+		}
+		if e.Seconds <= 0 {
+			t.Errorf("engine %s: non-positive seconds %v", e.Engine, e.Seconds)
+		}
+		if e.Speedup <= 0 {
+			t.Errorf("engine %s: non-positive speedup %v", e.Engine, e.Speedup)
+		}
+	}
+	slotRow, haveSlot := rows[string(sim.EngineSlot)]
+	eventRow, haveEvent := rows[string(sim.EngineEvent)]
+	if !haveSlot || !haveEvent {
+		t.Fatalf("engines section has %v, want both %q and %q", r.Engines, sim.EngineSlot, sim.EngineEvent)
+	}
+	if slotRow.Slots != eventRow.Slots || slotRow.Jobs != eventRow.Jobs {
+		t.Errorf("engines simulated different workloads: slot %d slots/%d jobs vs event %d slots/%d jobs",
+			slotRow.Slots, slotRow.Jobs, eventRow.Slots, eventRow.Jobs)
+	}
+	// The point of the event core: the sparse long-horizon run must be at
+	// least an order of magnitude faster than slot-by-slot replay.
+	if eventRow.Speedup < 10 {
+		t.Errorf("event engine speedup %.1f× on the sparse workload, want ≥ 10×", eventRow.Speedup)
+	}
+	if got := slotRow.Seconds / eventRow.Seconds; eventRow.Speedup/got > 1.0001 || got/eventRow.Speedup > 1.0001 {
+		t.Errorf("event speedup %v inconsistent with timings (%v)", eventRow.Speedup, got)
 	}
 }

@@ -1,0 +1,126 @@
+package agentproto
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// broadcastMsgs is a representative spread of price broadcasts: the
+// steady-state shape, an untraced (pre-trace wire format) message, a
+// negative price excursion, and wide rounds.
+var broadcastMsgs = []Message{
+	{Type: MsgPrice, Round: 1, Price: 0.1, TargetW: 5000, TraceID: "m1.r1"},
+	{Type: MsgPrice, Round: 17, Price: 0.03514231, TargetW: 123456.789, TraceID: "m42.r17"},
+	{Type: MsgPrice, Round: 3, Price: 2.5, TargetW: 800},
+	{Type: MsgPrice, Round: 1 << 20, Price: -0.25, TargetW: 1e9, TraceID: "m999.r1048576"},
+	{Type: MsgLift},
+}
+
+// TestBroadcastBytesIdentical pins the broadcast fast path to the wire:
+// the fleet-shared pre-encoded bytes must equal, byte for byte, what the
+// per-member codec path would have written — for both transports. Any
+// drift here would mean agents see different bytes depending on which
+// path the manager took.
+func TestBroadcastBytesIdentical(t *testing.T) {
+	for i, m := range broadcastMsgs {
+		pre, err := encodeMsg(m)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+
+		var jsonBuf bytes.Buffer
+		if err := NewCodec(struct {
+			io.Reader
+			io.Writer
+		}{nil, &jsonBuf}).Send(m); err != nil {
+			t.Fatalf("msg %d: json send: %v", i, err)
+		}
+		if !bytes.Equal(pre.json, jsonBuf.Bytes()) {
+			t.Errorf("msg %d: shared JSON bytes differ from Codec.Send:\n shared %q\n codec  %q",
+				i, pre.json, jsonBuf.Bytes())
+		}
+		if got := pre.bytesFor(WireJSON); !bytes.Equal(got, pre.json) {
+			t.Errorf("msg %d: bytesFor(json) returned the wrong encoding", i)
+		}
+
+		var frameBuf bytes.Buffer
+		if err := NewFrameCodec(bytes.NewReader(nil), &frameBuf).Send(m); err != nil {
+			t.Fatalf("msg %d: frame send: %v", i, err)
+		}
+		if !bytes.Equal(pre.frame, frameBuf.Bytes()) {
+			t.Errorf("msg %d: shared frame bytes differ from FrameCodec.Send:\n shared %x\n codec  %x",
+				i, pre.frame, frameBuf.Bytes())
+		}
+		if got := pre.bytesFor(WireBinary); !bytes.Equal(got, pre.frame) {
+			t.Errorf("msg %d: bytesFor(binary) returned the wrong encoding", i)
+		}
+	}
+}
+
+// TestAppendFrameOffset pins appendFrame's append contract: encoding
+// into a non-empty buffer must leave the existing bytes intact and place
+// the length header relative to the frame's own start.
+func TestAppendFrameOffset(t *testing.T) {
+	m := broadcastMsgs[0]
+	solo, err := appendFrame(nil, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte("existing")
+	buf, err := appendFrame(append([]byte(nil), prefix...), &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf, prefix) {
+		t.Fatalf("appendFrame clobbered the existing buffer prefix: %x", buf)
+	}
+	if !bytes.Equal(buf[len(prefix):], solo) {
+		t.Fatalf("frame at offset differs from frame at start:\n offset %x\n start  %x", buf[len(prefix):], solo)
+	}
+}
+
+// BenchmarkBroadcastEncode compares the per-member encode the broadcast
+// path replaced (one codec.Send per agent) against the shared pre-encode
+// (one encodeMsg per round, one raw Write per agent) at a 1024-member
+// shard fleet, for both transports.
+func BenchmarkBroadcastEncode(b *testing.B) {
+	const fleet = 1024
+	msg := broadcastMsgs[0]
+	for _, wire := range []string{WireJSON, WireBinary} {
+		b.Run(fmt.Sprintf("per-member/%s", wire), func(b *testing.B) {
+			var codec wireCodec
+			if wire == WireBinary {
+				codec = NewFrameCodec(bytes.NewReader(nil), io.Discard)
+			} else {
+				codec = NewCodec(struct {
+					io.Reader
+					io.Writer
+				}{nil, io.Discard})
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < fleet; j++ {
+					if err := codec.Send(msg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("shared/%s", wire), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pre, err := encodeMsg(msg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < fleet; j++ {
+					if _, err := io.Discard.Write(pre.bytesFor(wire)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

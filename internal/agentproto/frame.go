@@ -213,19 +213,36 @@ func bitmapOf(m *Message) uint16 {
 
 // Send writes one message as a single frame (one Write call).
 func (c *FrameCodec) Send(m Message) error {
-	tb, err := msgTypeByte(m.Type)
+	buf, err := appendFrame(c.enc[:0], &m)
 	if err != nil {
 		return err
 	}
-	if m.Round < math.MinInt32 || m.Round > math.MaxInt32 {
-		return fmt.Errorf("agentproto: round %d exceeds frame range", m.Round)
+	c.enc = buf[:0]
+	if _, err := c.w.Write(buf); err != nil {
+		return fmt.Errorf("agentproto: send %s: %w", m.Type, err)
 	}
-	buf := append(c.enc[:0], frameMagic, tb, 0, 0, 0, 0)
-	bm := bitmapOf(&m)
+	return nil
+}
+
+// appendFrame appends m encoded as one complete mprbin/v1 frame (header
+// plus payload) to dst. It is the single encoder behind both
+// FrameCodec.Send and the manager's shared-broadcast fast path, so the
+// two emit byte-identical frames by construction.
+func appendFrame(dst []byte, m *Message) ([]byte, error) {
+	tb, err := msgTypeByte(m.Type)
+	if err != nil {
+		return dst, err
+	}
+	if m.Round < math.MinInt32 || m.Round > math.MaxInt32 {
+		return dst, fmt.Errorf("agentproto: round %d exceeds frame range", m.Round)
+	}
+	start := len(dst)
+	buf := append(dst, frameMagic, tb, 0, 0, 0, 0)
+	bm := bitmapOf(m)
 	buf = appendU16(buf, bm)
 	if bm&bitJobID != 0 {
 		if buf, err = appendStr(buf, m.JobID); err != nil {
-			return err
+			return dst, err
 		}
 	}
 	if bm&bitCores != 0 {
@@ -248,7 +265,7 @@ func (c *FrameCodec) Send(m Message) error {
 	}
 	if bm&bitTraceID != 0 {
 		if buf, err = appendStr(buf, m.TraceID); err != nil {
-			return err
+			return dst, err
 		}
 	}
 	if bm&bitDelta != 0 {
@@ -265,15 +282,11 @@ func (c *FrameCodec) Send(m Message) error {
 	}
 	if bm&bitReason != 0 {
 		if buf, err = appendStr(buf, m.Reason); err != nil {
-			return err
+			return dst, err
 		}
 	}
-	binary.BigEndian.PutUint32(buf[2:6], uint32(len(buf)-6))
-	c.enc = buf[:0]
-	if _, err := c.w.Write(buf); err != nil {
-		return fmt.Errorf("agentproto: send %s: %w", m.Type, err)
-	}
-	return nil
+	binary.BigEndian.PutUint32(buf[start+2:start+6], uint32(len(buf)-start-6))
+	return buf, nil
 }
 
 // frameReader decodes payload fields sequentially.

@@ -640,6 +640,14 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 	for round := 1; round <= m.cfg.MaxRounds; round++ {
 		rounds = round
 		roundTrace := marketTrace + ".r" + strconv.Itoa(round)
+		// The round's price broadcast is identical for every member, so it
+		// is encoded exactly once per round — in both wire formats — and
+		// the shard loops write the shared bytes raw per connection.
+		pre, err := encodeMsg(Message{Type: MsgPrice, Round: round, Price: price, TargetW: targetW, TraceID: roundTrace})
+		if err != nil {
+			mkSpan.End()
+			return nil, err
+		}
 		roundSpan := mkSpan.StartChild("market_round")
 		roundSpan.SetAttr("trace", roundTrace)
 		bidSpan := roundSpan.StartChild("respond_bids")
@@ -649,7 +657,7 @@ func (m *Manager) RunMarket(targetW float64) (*MarketOutcome, error) {
 			cmd := shardCmd{
 				kind:    cmdRound,
 				round:   round,
-				msg:     Message{Type: MsgPrice, Round: round, Price: price, TargetW: targetW, TraceID: roundTrace},
+				pre:     pre,
 				timeout: m.cfg.RoundTimeout,
 				reply:   reply,
 			}

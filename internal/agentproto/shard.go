@@ -77,7 +77,7 @@ type shardCmd struct {
 	kind    shardCmdKind
 	members []*agentConn
 	round   int
-	msg     Message // price broadcast for cmdRound
+	pre     *encodedMsg // price broadcast for cmdRound, encoded once per fleet
 	timeout time.Duration
 	msgs    []memberMsg // cmdDeliver payload
 	reply   chan shardBatch
@@ -180,6 +180,30 @@ func (s *shard) sendTo(a *agentConn, msg Message, timeout time.Duration) bool {
 	return false
 }
 
+// sendPre writes a fleet-shared pre-encoded broadcast to one member: the
+// bytes for the connection's negotiated transport, raw, skipping the
+// per-member re-encode. Deadline handling and failure classification
+// (write_stall eviction vs dead peer) mirror sendTo exactly.
+func (s *shard) sendPre(a *agentConn, pre *encodedMsg, timeout time.Duration) bool {
+	if a.dropped.Load() {
+		return false
+	}
+	_ = a.conn.SetWriteDeadline(time.Now().Add(timeout))
+	_, err := a.conn.Write(pre.bytesFor(a.wire))
+	if err == nil {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		s.m.logf("agent %s write stalled: %v", a.hello.JobID, err)
+		s.m.drop(a, ReasonWriteStall, true)
+	} else {
+		s.m.logf("send to %s failed: %v", a.hello.JobID, err)
+		s.m.drop(a, ReasonPeerClosed, false)
+	}
+	return false
+}
+
 // runRound broadcasts the round's price to the shard's members, waits
 // until every live member has answered (or the round deadline), then
 // harvests the mailboxes into a batch for RunMarket. Deadline-missing
@@ -193,7 +217,7 @@ func (s *shard) runRound(cmd shardCmd) {
 	}
 	live := int32(0)
 	for _, a := range s.members {
-		if s.sendTo(a, cmd.msg, cmd.timeout) {
+		if s.sendPre(a, cmd.pre, cmd.timeout) {
 			live++
 		}
 	}

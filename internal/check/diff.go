@@ -18,6 +18,8 @@ type DiffStats struct {
 	Singleton    int // degenerate single-participant markets
 	Capped       int // capped instances that settled at the cap
 	Updates      int // streaming deltas applied (DiffStream only)
+	Emergencies  int // declared emergencies across instances (DiffEngines only)
+	SimSlots     int // simulated slots across instances (DiffEngines only)
 
 	// Cost-ordering aggregates (DiffMarketVsOPT only): total cost per
 	// algorithm summed over all instances, and the count of instances
@@ -41,6 +43,8 @@ func (st *DiffStats) add(o DiffStats) {
 	st.Singleton += o.Singleton
 	st.Capped += o.Capped
 	st.Updates += o.Updates
+	st.Emergencies += o.Emergencies
+	st.SimSlots += o.SimSlots
 	st.OPTCost += o.OPTCost
 	st.StatCost += o.StatCost
 	st.EQLCost += o.EQLCost

@@ -1,0 +1,280 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+
+	"mpr/internal/power"
+	"mpr/internal/runner"
+	"mpr/internal/sim"
+	"mpr/internal/telemetry/tsdb"
+	"mpr/internal/trace"
+)
+
+// This file is the simulation-engine differential: the fixed-step and
+// event-driven cores (sim.EngineSlot / sim.EngineEvent) must produce
+// bit-identical Results — scalars, per-job timelines, telemetry
+// counters, trace events, and sampled series — on every configuration
+// the simulator accepts. The driver runs both engines over adversarial
+// generated workloads and compares exactly, the same discipline
+// DiffStream applies to the streaming market.
+
+// SimTrace generates a small adversarial workload: burst submits that
+// pile jobs onto one slot (queue contention, overlapping overloads),
+// medium strides, and long sparse gaps (the event core's skip regime),
+// with core demands up to the whole machine and runtimes that are
+// deliberately not whole minutes (fractional remaining work drives the
+// finish-threshold float arithmetic both engines must agree on).
+func (g *Gen) SimTrace() *trace.Trace {
+	totalCores := 8 << g.rng.Intn(4) // 8, 16, 32, or 64
+	n := 4 + g.rng.Intn(40)
+	jobs := make([]trace.Job, 0, n)
+	var submit int64
+	for i := 0; i < n; i++ {
+		switch r := g.rng.Float64(); {
+		case r < 0.50:
+			// Burst: same submit slot as the previous job.
+		case r < 0.85:
+			submit += int64(g.rng.Intn(30)) * 60
+		default:
+			submit += int64(g.rng.Intn(2000)) * 60 // sparse gap
+		}
+		runtime := int64(60 + g.rng.Intn(4*3600))
+		if g.rng.Float64() < 0.3 {
+			runtime = runtime / 60 * 60 // exact whole minutes
+		}
+		// Mostly narrow jobs: the oversubscribed capacity derives from the
+		// workload's no-queueing peak, so bursts must actually fit on the
+		// machine for delivered power to reach it and overload.
+		cores := 1 + g.rng.Intn(max(1, totalCores/4))
+		if g.rng.Float64() < 0.2 {
+			cores = 1 + g.rng.Intn(totalCores)
+		}
+		jobs = append(jobs, trace.Job{
+			ID:      i + 1,
+			Submit:  submit,
+			Runtime: runtime,
+			Cores:   cores,
+		})
+	}
+	return &trace.Trace{Name: "engine-diff", TotalCores: totalCores, Jobs: jobs}
+}
+
+// SimConfig draws a full simulator configuration over the generated
+// trace: every algorithm, oversubscription levels that mostly force
+// emergencies, market delays, backfill, participation and bid-factor
+// variation, cost errors, power phases, predictive mode, and the dense
+// series samplers — each a distinct code path the engine differential
+// must pin. Engine and RecordJobs are left for the driver to set.
+func (g *Gen) SimConfig() sim.Config {
+	algs := []sim.Algorithm{
+		sim.AlgMPRStat, sim.AlgMPRStat, sim.AlgMPRInt,
+		sim.AlgOPT, sim.AlgEQL, sim.AlgNone,
+	}
+	cfg := sim.Config{
+		Trace:     g.SimTrace(),
+		Algorithm: algs[g.rng.Intn(len(algs))],
+		Seed:      g.rng.Int63(),
+	}
+	if g.rng.Float64() < 0.15 {
+		cfg.OversubPct = 5 * g.rng.Float64() // rarely overloads
+	} else {
+		cfg.OversubPct = 8 + 30*g.rng.Float64()
+	}
+	if g.rng.Float64() < 0.35 {
+		// Pin the capacity below the machine's realizable full-power draw
+		// so overloads occur whenever utilization climbs, independent of
+		// the no-queueing peak the derived capacity is based on.
+		perCore := power.DefaultCPUCoreModel.StaticW + power.DefaultCPUCoreModel.DynamicW
+		cfg.CapacityOverrideW = (0.55 + 0.4*g.rng.Float64()) * perCore * float64(cfg.Trace.TotalCores)
+	}
+	cfg.MinOverloadSlots = 1 + g.rng.Intn(3)
+	cfg.CooldownSlots = 1 + g.rng.Intn(15)
+	if g.rng.Float64() < 0.30 {
+		cfg.Backfill = true
+	}
+	if g.rng.Float64() < 0.35 {
+		cfg.MarketDelaySlots = 1 + g.rng.Intn(5)
+	}
+	if g.rng.Float64() < 0.40 {
+		cfg.Participation = 0.2 + 0.8*g.rng.Float64()
+	}
+	if g.rng.Float64() < 0.30 {
+		cfg.StatBidFactor = 0.5 + 1.5*g.rng.Float64()
+	}
+	if g.rng.Float64() < 0.25 {
+		cfg.CostErrorRand = 0.4 * g.rng.Float64()
+	}
+	if g.rng.Float64() < 0.15 {
+		cfg.CostErrorUnder = 0.3 * g.rng.Float64()
+	}
+	if g.rng.Float64() < 0.20 {
+		cfg.PhaseAmp = 0.3 * g.rng.Float64()
+		cfg.PhasePeriodSlots = 2 + g.rng.Intn(120)
+	}
+	if g.rng.Float64() < 0.15 {
+		cfg.Predictive = true
+	}
+	if g.rng.Float64() < 0.12 {
+		cfg.SampleSeries = true
+		cfg.SeriesCapacity = 256
+	}
+	if g.rng.Float64() < 0.12 {
+		cfg.RecordSeries = 50
+	}
+	return cfg
+}
+
+// DiffEngines runs both simulation cores over adversarial generated
+// configurations and requires bit-identical Results. The returned
+// error, if any, names the reproducing instance seed; the stats report
+// how much overload handling the generated population exercised.
+func DiffEngines(baseSeed int64, instances int) (DiffStats, error) {
+	parts, err := runner.MapN(0, instances, func(i int) (DiffStats, error) {
+		seed := instanceSeed(baseSeed, i)
+		g := NewGen(seed)
+		var st DiffStats
+		if err := diffOneEngines(g, &st); err != nil {
+			return st, fmt.Errorf("check: instance seed %d (base %d, instance %d): %w", seed, baseSeed, i, err)
+		}
+		return st, nil
+	})
+	if err != nil {
+		return DiffStats{}, err
+	}
+	return foldStats(parts), nil
+}
+
+func diffOneEngines(g *Gen, st *DiffStats) error {
+	st.Instances++
+	cfg := g.SimConfig()
+	cfg.RecordJobs = true
+	run := func(engine sim.Engine) (*sim.Result, error) {
+		c := cfg
+		c.Engine = engine
+		return sim.Run(c)
+	}
+	slot, err := run(sim.EngineSlot)
+	if err != nil {
+		return fmt.Errorf("slot engine: %v", err)
+	}
+	event, err := run(sim.EngineEvent)
+	if err != nil {
+		return fmt.Errorf("event engine: %v", err)
+	}
+	st.Participants += slot.JobsTotal
+	st.Emergencies += slot.EmergencyCount
+	st.SimSlots += slot.Slots
+	return CompareEngineResults(slot, event)
+}
+
+// CompareEngineResults requires the two Results to be bit-identical in
+// every deterministic dimension: scalar statistics (floats compared by
+// bit pattern, not tolerance), per-profile aggregates, per-job
+// timelines, downsampled power series, sampled time-series stores
+// (compared on their rendered JSONL export), telemetry snapshots, and
+// trace events. Wall-clock fields (Event.TimeNS, span durations) are
+// the only exclusions: Emit stamps them with real time.
+func CompareEngineResults(slot, event *sim.Result) error {
+	ints := []struct {
+		name string
+		a, b int
+	}{
+		{"Slots", slot.Slots, event.Slots},
+		{"OverloadSlots", slot.OverloadSlots, event.OverloadSlots},
+		{"EmergencyCount", slot.EmergencyCount, event.EmergencyCount},
+		{"EmergencySlots", slot.EmergencySlots, event.EmergencySlots},
+		{"InfeasibleEvents", slot.InfeasibleEvents, event.InfeasibleEvents},
+		{"JobsTotal", slot.JobsTotal, event.JobsTotal},
+		{"JobsCompleted", slot.JobsCompleted, event.JobsCompleted},
+		{"JobsAffected", slot.JobsAffected, event.JobsAffected},
+		{"MarketInvocations", slot.MarketInvocations, event.MarketInvocations},
+	}
+	for _, f := range ints {
+		if f.a != f.b {
+			return fmt.Errorf("%s: slot engine %d, event engine %d", f.name, f.a, f.b)
+		}
+	}
+	floats := []struct {
+		name string
+		a, b float64
+	}{
+		{"OversubPct", slot.OversubPct, event.OversubPct},
+		{"CapacityW", slot.CapacityW, event.CapacityW},
+		{"PeakW", slot.PeakW, event.PeakW},
+		{"ReductionCoreH", slot.ReductionCoreH, event.ReductionCoreH},
+		{"CostCoreH", slot.CostCoreH, event.CostCoreH},
+		{"PaymentCoreH", slot.PaymentCoreH, event.PaymentCoreH},
+		{"ExtraCapacityCoreH", slot.ExtraCapacityCoreH, event.ExtraCapacityCoreH},
+		{"UsedExtraCoreH", slot.UsedExtraCoreH, event.UsedExtraCoreH},
+		{"MeanRuntimeIncrease", slot.MeanRuntimeIncrease, event.MeanRuntimeIncrease},
+		{"MeanQueueWaitMin", slot.MeanQueueWaitMin, event.MeanQueueWaitMin},
+		{"MeanRounds", slot.MeanRounds, event.MeanRounds},
+		{"MeanClearingPrice", slot.MeanClearingPrice, event.MeanClearingPrice},
+	}
+	for _, f := range floats {
+		if math.Float64bits(f.a) != math.Float64bits(f.b) {
+			return fmt.Errorf("%s: slot engine %v, event engine %v (bits %016x vs %016x)",
+				f.name, f.a, f.b, math.Float64bits(f.a), math.Float64bits(f.b))
+		}
+	}
+	if !reflect.DeepEqual(slot.PerProfile, event.PerProfile) {
+		return fmt.Errorf("PerProfile diverged: %+v vs %+v", slot.PerProfile, event.PerProfile)
+	}
+	if len(slot.Jobs) != len(event.Jobs) {
+		return fmt.Errorf("Jobs length: %d vs %d", len(slot.Jobs), len(event.Jobs))
+	}
+	for i := range slot.Jobs {
+		if slot.Jobs[i] != event.Jobs[i] {
+			return fmt.Errorf("job %d diverged: %+v vs %+v", slot.Jobs[i].ID, slot.Jobs[i], event.Jobs[i])
+		}
+	}
+	if !reflect.DeepEqual(slot.DemandSeries, event.DemandSeries) {
+		return fmt.Errorf("DemandSeries diverged")
+	}
+	if !reflect.DeepEqual(slot.DeliveredSeries, event.DeliveredSeries) {
+		return fmt.Errorf("DeliveredSeries diverged")
+	}
+	if (slot.Series == nil) != (event.Series == nil) {
+		return fmt.Errorf("Series presence: slot %v, event %v", slot.Series != nil, event.Series != nil)
+	}
+	if slot.Series != nil {
+		a, err := renderSeries(slot.Series)
+		if err != nil {
+			return fmt.Errorf("render slot series: %v", err)
+		}
+		b, err := renderSeries(event.Series)
+		if err != nil {
+			return fmt.Errorf("render event series: %v", err)
+		}
+		if !bytes.Equal(a, b) {
+			return fmt.Errorf("sampled series exports differ (%d vs %d bytes)", len(a), len(b))
+		}
+	}
+	if len(slot.TraceEvents) != len(event.TraceEvents) {
+		return fmt.Errorf("TraceEvents length: %d vs %d", len(slot.TraceEvents), len(event.TraceEvents))
+	}
+	for i := range slot.TraceEvents {
+		a, b := slot.TraceEvents[i], event.TraceEvents[i]
+		a.TimeNS, b.TimeNS = 0, 0 // wall clock, stamped by Emit
+		if a != b {
+			return fmt.Errorf("trace event %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+	if !reflect.DeepEqual(slot.Telemetry, event.Telemetry) {
+		return fmt.Errorf("telemetry snapshots diverged: %+v vs %+v", slot.Telemetry, event.Telemetry)
+	}
+	return nil
+}
+
+// renderSeries serializes a sampled store at raw resolution; the JSONL
+// rendering covers names, timestamps, and values bit-exactly.
+func renderSeries(s *tsdb.Store) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := tsdb.WriteJSONL(&buf, s.Query(tsdb.Query{Resolution: tsdb.ResRaw})); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -38,6 +38,10 @@ func renderResult(res *Result) string {
 // but kept out of this matrix: its 20,000-core clusters dominate the
 // suite's wall clock even at a 2-day horizon, and its sweep structure
 // (trace × algorithm cells over cachedTrace) is the same as f12/f13's.
+// The matrix also crosses both simulation engines: each engine must be
+// worker-count invariant, and — because internal/check pins the engines
+// to bit-identical Results — the event engine's tables must match the
+// slot engine's byte for byte as well.
 func TestSweepBitIdentity(t *testing.T) {
 	ids := []string{"f8", "f9", "x4", "t1"}
 	if !testing.Short() {
@@ -51,23 +55,25 @@ func TestSweepBitIdentity(t *testing.T) {
 				t.Fatal(err)
 			}
 			var want string
-			for _, workers := range []int{1, 4, 16} {
-				// Cold caches each time: with warm caches a second run
-				// would trivially replay memoized results instead of
-				// exercising the worker pool.
-				ResetCaches()
-				res, err := e.Run(Options{Seed: 1, Quick: true, Days: 2, Parallel: workers})
-				if err != nil {
-					t.Fatalf("workers=%d: %v", workers, err)
-				}
-				got := renderResult(res)
-				if workers == 1 {
-					want = got
-					continue
-				}
-				if got != want {
-					t.Fatalf("workers=%d rendering differs from serial:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
-						workers, want, workers, got)
+			for _, engine := range sim.Engines() {
+				for _, workers := range []int{1, 4, 16} {
+					// Cold caches each time: with warm caches a second run
+					// would trivially replay memoized results instead of
+					// exercising the worker pool.
+					ResetCaches()
+					res, err := e.Run(Options{Seed: 1, Quick: true, Days: 2, Parallel: workers, Engine: engine})
+					if err != nil {
+						t.Fatalf("engine=%s workers=%d: %v", engine, workers, err)
+					}
+					got := renderResult(res)
+					if engine == sim.EngineSlot && workers == 1 {
+						want = got
+						continue
+					}
+					if got != want {
+						t.Fatalf("engine=%s workers=%d rendering differs from slot serial:\n--- slot serial ---\n%s\n--- engine=%s workers=%d ---\n%s",
+							engine, workers, want, engine, workers, got)
+					}
 				}
 			}
 		})
@@ -76,28 +82,30 @@ func TestSweepBitIdentity(t *testing.T) {
 
 // TestSeriesExportBitIdentity extends the determinism contract to the
 // recorded series store itself: the timeline run's raw JSONL export is
-// byte-identical at any worker count. This is the property the mprbench
-// -series flag relies on.
+// byte-identical at any worker count and under either engine. This is
+// the property the mprbench -series flag relies on.
 func TestSeriesExportBitIdentity(t *testing.T) {
 	var want string
-	for _, workers := range []int{1, 4, 16} {
-		ResetCaches()
-		res, err := TimelineRun(Options{Seed: 1, Quick: true, Days: 2, Parallel: workers})
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		var b strings.Builder
-		if err := tsdb.WriteJSONL(&b, res.Series.Query(tsdb.Query{Resolution: tsdb.ResRaw})); err != nil {
-			t.Fatalf("workers=%d export: %v", workers, err)
-		}
-		got := b.String()
-		if workers == 1 {
-			want = got
-			continue
-		}
-		if got != want {
-			t.Fatalf("workers=%d series export differs from serial (%d vs %d bytes)",
-				workers, len(got), len(want))
+	for _, engine := range sim.Engines() {
+		for _, workers := range []int{1, 4, 16} {
+			ResetCaches()
+			res, err := TimelineRun(Options{Seed: 1, Quick: true, Days: 2, Parallel: workers, Engine: engine})
+			if err != nil {
+				t.Fatalf("engine=%s workers=%d: %v", engine, workers, err)
+			}
+			var b strings.Builder
+			if err := tsdb.WriteJSONL(&b, res.Series.Query(tsdb.Query{Resolution: tsdb.ResRaw})); err != nil {
+				t.Fatalf("engine=%s workers=%d export: %v", engine, workers, err)
+			}
+			got := b.String()
+			if engine == sim.EngineSlot && workers == 1 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("engine=%s workers=%d series export differs from slot serial (%d vs %d bytes)",
+					engine, workers, len(got), len(want))
+			}
 		}
 	}
 	for _, name := range []string{sim.SeriesPowerDemandW, sim.SeriesOverloadW, sim.SeriesMarketRounds} {

@@ -175,7 +175,15 @@ func (s *Scheduler) shadow(head Request) (shadowTime int64, spare int) {
 	for _, r := range s.running {
 		ends = append(ends, r)
 	}
-	sort.Slice(ends, func(a, b int) bool { return ends[a].expectedEnd < ends[b].expectedEnd })
+	// The running set is a map; ties on expectedEnd must order by id or
+	// `spare` — and with it every backfill decision — would depend on map
+	// iteration order.
+	sort.Slice(ends, func(a, b int) bool {
+		if ends[a].expectedEnd != ends[b].expectedEnd {
+			return ends[a].expectedEnd < ends[b].expectedEnd
+		}
+		return ends[a].id < ends[b].id
+	})
 	free := s.freeCores
 	for _, r := range ends {
 		if free >= head.Cores {

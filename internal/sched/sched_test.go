@@ -200,3 +200,45 @@ func TestRandomizedConservation(t *testing.T) {
 		}
 	}
 }
+
+// TestBackfillShadowTieDeterministic pins the shadow computation against
+// map-iteration nondeterminism: when several running jobs share an
+// expected end, the spare-core accounting (and with it every backfill
+// decision) must come out identical on every run. The tie scenario is
+// rebuilt many times so a map-order dependence cannot hide behind a
+// lucky iteration order.
+func TestBackfillShadowTieDeterministic(t *testing.T) {
+	build := func() []int {
+		s, err := New(32, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two jobs with the same expected end (the tie), then a wide head
+		// that must wait for both, then a short job whose backfill
+		// eligibility hinges on the spare cores at the shadow time.
+		for _, r := range []Request{
+			{ID: 1, Cores: 20, EstRuntime: 177},
+			{ID: 2, Cores: 4, EstRuntime: 177},
+			{ID: 3, Cores: 26, EstRuntime: 50},
+		} {
+			if err := s.Submit(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.TryStart(0) // starts 1 and 2 (backfill), leaves 3 queued
+		if err := s.Submit(Request{ID: 4, Cores: 4, EstRuntime: 500}); err != nil {
+			t.Fatal(err)
+		}
+		var ids []int
+		for _, r := range s.TryStart(11) {
+			ids = append(ids, r.ID)
+		}
+		return ids
+	}
+	first := build()
+	for i := 1; i < 100; i++ {
+		if got := build(); len(got) != len(first) || (len(got) > 0 && got[0] != first[0]) {
+			t.Fatalf("run %d backfilled %v, first run %v — shadow ties depend on map order", i, got, first)
+		}
+	}
+}

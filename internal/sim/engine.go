@@ -57,11 +57,91 @@ type simJob struct {
 	phaseOffset float64
 }
 
+// engineState is one run's complete mutable state. Both cores drive the
+// same state through the same per-slot transition, step: the slot core
+// calls it for every slot in the horizon, the event core only for slots
+// where an event makes state change possible and replays the provably
+// inert ranges in bulk (events.go). Everything a slot can read or write
+// lives here, which is what makes the two cores bit-identical by
+// construction rather than by tolerance.
+type engineState struct {
+	cfg *Config
+	res *Result
+
+	reg      *telemetry.Registry
+	tracer   *telemetry.Tracer
+	runTrace *telemetry.Trace
+	sm       simMetrics
+	smp      seriesSampler
+
+	seriesStore *tsdb.Store
+
+	jobs     []*simJob
+	byID     map[int]*simJob
+	arrivals map[int][]*simJob
+
+	peakW float64
+	capW  float64
+
+	ec        *power.EmergencyController
+	scheduler *sched.Scheduler
+	fc        *forecast.Forecaster
+
+	active         []*simJob
+	emergency      bool
+	price          float64
+	totalRounds    int
+	sumPrice       float64
+	demandSeries   stats.Series
+	deliverSeries  stats.Series
+	baseCapCores   float64
+	remainingStart int
+
+	// Delayed reduction orders (MarketDelaySlots): allocations computed
+	// at declare time but applied later.
+	pendingAllocs    map[int]float64
+	pendingApplyAt   int
+	pendingOrderSlot int
+
+	// scratch is the reusable market-invocation state; the hot slot
+	// loop re-clears through it without per-invocation allocations.
+	scratch marketScratch
+
+	// lastTargetW is the reduction target of the in-force emergency
+	// (for the unmet-reduction series); emSpan the open emergency span.
+	lastTargetW float64
+	emSpan      *telemetry.ActiveSpan
+	marketAlgo  bool
+
+	horizon int
+
+	// events is the event core's indexed min-heap (nil under EngineSlot).
+	events *eventHeap
+}
+
 // Run executes the simulation and returns its result.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
+	st, err := newEngineState(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Engine == EngineEvent {
+		err = st.runEvents()
+	} else {
+		err = st.runSlots()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return st.finish(), nil
+}
+
+// newEngineState builds the run's initial state: jobs, capacity, the
+// emergency controller, the scheduler, observability, and the horizon.
+func newEngineState(cfg *Config) (*engineState, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Per-run observability: a private registry plus an event tracer whose
@@ -85,7 +165,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	smp := newSeriesSampler(seriesStore, string(cfg.Algorithm))
 
-	jobs := buildJobs(&cfg, rng)
+	jobs := buildJobs(cfg, rng)
 	peakW := peakPower(jobs)
 	capW := power.Oversubscription{PeakW: peakW, Percent: cfg.OversubPct}.Capacity()
 	if cfg.CapacityOverrideW > 0 {
@@ -144,39 +224,32 @@ func Run(cfg Config) (*Result, error) {
 		arrivals[j.submitSlot] = append(arrivals[j.submitSlot], j)
 	}
 
-	var (
-		active         []*simJob
-		emergency      bool
-		price          float64
-		totalRounds    int
-		sumPrice       float64
-		demandSeries   stats.Series
-		deliverSeries  stats.Series
-		baseCapCores   = float64(cfg.Trace.TotalCores) / (1 + cfg.OversubPct/100)
-		remainingStart = len(jobs)
-
-		// Delayed reduction orders (MarketDelaySlots): allocations
-		// computed at declare time but applied later.
-		pendingAllocs    map[int]float64
-		pendingApplyAt   int
-		pendingOrderSlot int
-
-		// scratch is the reusable market-invocation state; the hot slot
-		// loop re-clears through it without per-invocation allocations.
-		scratch marketScratch
-
-		// lastTargetW is the reduction target of the in-force emergency
-		// (for the unmet-reduction series); emSpan the open emergency span.
-		lastTargetW float64
-		emSpan      *telemetry.ActiveSpan
-		marketAlgo  = cfg.Algorithm == AlgMPRStat || cfg.Algorithm == AlgMPRInt
-	)
-	var fc *forecast.Forecaster
+	st := &engineState{
+		cfg:            cfg,
+		res:            res,
+		reg:            reg,
+		tracer:         tracer,
+		runTrace:       runTrace,
+		sm:             sm,
+		smp:            smp,
+		seriesStore:    seriesStore,
+		jobs:           jobs,
+		byID:           byID,
+		arrivals:       arrivals,
+		peakW:          peakW,
+		capW:           capW,
+		ec:             ec,
+		scheduler:      scheduler,
+		baseCapCores:   float64(cfg.Trace.TotalCores) / (1 + cfg.OversubPct/100),
+		remainingStart: len(jobs),
+		marketAlgo:     cfg.Algorithm == AlgMPRStat || cfg.Algorithm == AlgMPRInt,
+		horizon:        horizon,
+	}
 	if cfg.Predictive {
 		// Reactive smoothing: overload anticipation needs the trend to
 		// catch demand ramps within a few slots, so level and trend
 		// react much faster than a long-horizon forecaster would.
-		fc, err = forecast.New(forecast.Config{
+		st.fc, err = forecast.New(forecast.Config{
 			LevelAlpha: 0.5,
 			TrendBeta:  0.35,
 			Phi:        0.95,
@@ -185,307 +258,328 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	return st, nil
+}
 
-	for slot := 0; slot <= horizon && (remainingStart > 0 || len(active) > 0); slot++ {
-		// 1. Finish jobs that completed their work (compacting the
-		// active list in place, preserving deterministic order).
-		keep := active[:0]
-		for _, j := range active {
-			if j.remainingMin <= 1e-9 {
-				j.running = false
-				j.done = true
-				j.endSlot = slot
-				if err := scheduler.Finish(j.id); err != nil {
-					return nil, err
-				}
-				res.JobsCompleted++
-				continue
-			}
-			keep = append(keep, j)
+// runSlots is the fixed-step core: every slot in the horizon is
+// processed, whether or not anything can change in it.
+func (st *engineState) runSlots() error {
+	for slot := 0; slot <= st.horizon && (st.remainingStart > 0 || len(st.active) > 0); slot++ {
+		if err := st.step(slot); err != nil {
+			return err
 		}
-		active = keep
+	}
+	return nil
+}
 
-		// 2. Admit arrivals and start queued jobs. Predictive mode adds
-		// admission headroom gating: overloads in this system are mostly
-		// caused by job starts — discrete power steps the manager
-		// controls — so near capacity the manager defers admissions
-		// until power recedes, preventing the breach instead of reacting
-		// to it (the strongest form of Section III-D's early
-		// invocation).
-		for _, j := range arrivals[slot] {
-			if err := scheduler.Submit(sched.Request{
-				ID: j.id, Cores: j.cores, EstRuntime: int64(math.Ceil(j.origMin)),
-			}); err != nil {
-				return nil, err
-			}
-			remainingStart--
-		}
-		startBudget := cfg.Trace.TotalCores
-		if cfg.Predictive && ec.State() == power.StateNormal {
-			var runDemand float64
-			maxWPC := cfg.CoreModel.StaticW + cfg.CoreModel.DynamicW
-			for _, j := range active {
-				runDemand += j.power.JobPower(float64(j.cores), 1)
-				if w := j.power.StaticW + j.power.DynamicW; w > maxWPC {
-					maxWPC = w
-				}
-			}
-			headroomW := 0.99*capW - runDemand
-			if headroomW < 0 {
-				headroomW = 0
-			}
-			startBudget = int(headroomW / maxWPC)
-		}
-		for _, req := range scheduler.TryStartBudget(int64(slot), startBudget) {
-			j := byID[req.ID]
-			j.running = true
-			j.startSlot = slot
-			j.alloc = 1
-			active = append(active, j)
-		}
+// step advances the simulation by one slot: the complete per-slot
+// transition both cores share.
+func (st *engineState) step(slot int) error {
+	cfg := st.cfg
+	res := st.res
 
-		// 3. Apply any reduction orders whose market delay has elapsed,
-		// then account power.
-		if pendingAllocs != nil && slot >= pendingApplyAt {
-			for _, j := range active {
-				if a, ok := pendingAllocs[j.id]; ok {
-					j.alloc = a
-					if speed := j.profile.Speed(a); speed > 0 {
-						scheduler.ExtendRuntime(j.id, int64(slot)+int64(math.Ceil(j.remainingMin/speed)))
-					}
-				}
+	// 1. Finish jobs that completed their work (compacting the
+	// active list in place, preserving deterministic order).
+	keep := st.active[:0]
+	for _, j := range st.active {
+		if j.remainingMin <= 1e-9 {
+			j.running = false
+			j.done = true
+			j.endSlot = slot
+			if err := st.scheduler.Finish(j.id); err != nil {
+				return err
 			}
-			pendingAllocs = nil
-			sm.latency.Observe(float64(slot - pendingOrderSlot))
+			res.JobsCompleted++
+			continue
 		}
-		var demandW, deliveredW float64
-		if cfg.PhaseAmp > 0 {
-			// Per-job power phases modulate the dynamic component.
-			omega := 2 * math.Pi / float64(cfg.PhasePeriodSlots)
-			for _, j := range active {
-				factor := 1 + cfg.PhaseAmp*math.Sin(omega*float64(slot)+j.phaseOffset)
-				static := float64(j.cores) * j.power.StaticW
-				dyn := float64(j.cores) * j.power.DynamicW * factor
-				demandW += static + dyn
-				deliveredW += static + j.alloc*dyn
-			}
-		} else {
-			for _, j := range active {
-				demandW += j.power.JobPower(float64(j.cores), 1)
-				deliveredW += j.power.JobPower(float64(j.cores), j.alloc)
-			}
-		}
+		keep = append(keep, j)
+	}
+	st.active = keep
 
-		// 4. Emergency control. In predictive mode the controller sees
-		// the worst forecast over the look-ahead window, so the market
-		// clears before the breach (Section III-D).
-		effDemand, effDelivered := demandW, deliveredW
-		if fc != nil {
-			fc.Observe(demandW)
-			// Forecasts drive the *declaration* only: during an active
-			// emergency the measured power governs raises and lifting,
-			// otherwise forecast-escalated targets block the lift
-			// condition and stall admissions.
-			st := ec.State()
-			// Proximity gate: anticipation only matters when demand is
-			// already close to the capacity — declaring from forecasts
-			// far below it is all false positives (the reductions
-			// stretch jobs, keep demand high, and feed back into yet
-			// more emergencies).
-			nearCapacity := demandW > 0.985*capW
-			if fc.Ready() && nearCapacity && (st == power.StateNormal || st == power.StatePending) {
-				// Anticipated demand: the point forecast, but at least a
-				// 3% margin over the current draw — once the system is
-				// this close to capacity, the reduction order must cover
-				// the typical breach depth or the raise at the actual
-				// breach pays the market delay a second time.
-				fDemand := math.Max(fc.PredictMax(cfg.PredictHorizonSlots), 1.03*demandW)
-				// Clamp: demand moves by job arrivals and phases — a few
-				// percent over a few minutes — and the implied target
-				// must stay within what the active jobs can possibly
-				// supply, or the emergency could never meet its own lift
-				// condition.
-				if limit := 1.08 * demandW; fDemand > limit {
-					fDemand = limit
-				}
-				var maxSupplyW float64
-				for _, j := range active {
-					maxSupplyW += float64(j.cores) * j.profile.MaxReduction() * j.power.DynamicW
-				}
-				if limit := 0.99*capW + 0.9*maxSupplyW; fDemand > limit {
-					fDemand = limit
-				}
-				if fDemand > effDemand {
-					effDemand = fDemand
-					// Future delivered power ≈ future demand minus the
-					// reduction currently in force.
-					if fDeliver := fDemand - (demandW - deliveredW); fDeliver > effDelivered {
-						effDelivered = fDeliver
-					}
-				}
+	// 2. Admit arrivals and start queued jobs. Predictive mode adds
+	// admission headroom gating: overloads in this system are mostly
+	// caused by job starts — discrete power steps the manager
+	// controls — so near capacity the manager defers admissions
+	// until power recedes, preventing the breach instead of reacting
+	// to it (the strongest form of Section III-D's early
+	// invocation).
+	for _, j := range st.arrivals[slot] {
+		if err := st.scheduler.Submit(sched.Request{
+			ID: j.id, Cores: j.cores, EstRuntime: int64(math.Ceil(j.origMin)),
+		}); err != nil {
+			return err
+		}
+		st.remainingStart--
+	}
+	startBudget := cfg.Trace.TotalCores
+	if cfg.Predictive && st.ec.State() == power.StateNormal {
+		var runDemand float64
+		maxWPC := cfg.CoreModel.StaticW + cfg.CoreModel.DynamicW
+		for _, j := range st.active {
+			runDemand += j.power.JobPower(float64(j.cores), 1)
+			if w := j.power.StaticW + j.power.DynamicW; w > maxWPC {
+				maxWPC = w
 			}
 		}
-		d := ec.Step(effDemand, effDelivered)
-		switch {
-		case d.Declare || d.Raise:
-			if d.Declare {
-				res.EmergencyCount++
-				runTrace.Emit(telemetry.Event{Name: "emergency_declare", Slot: slot, TargetW: d.TargetW, Value: demandW - capW})
-				emSpan = tracer.StartSpan("emergency", nil)
-				emSpan.SetAttr("slot", strconv.Itoa(slot))
-				emSpan.SetAttr("algo", string(cfg.Algorithm))
-			} else {
-				runTrace.Emit(telemetry.Event{Name: "emergency_raise", Slot: slot, TargetW: d.TargetW, Value: demandW - capW})
-			}
-			emergency = true
-			lastTargetW = d.TargetW
-			scheduler.Halt(true)
-			if cfg.Algorithm != AlgNone {
-				// The market runs as a child span of the emergency, under
-				// the "mpr_span" pprof label so CPU profiles attribute
-				// clearing work to the market (not the slot loop).
-				mkSpan := emSpan.StartChild("market")
-				cfg.Interactive.Span = mkSpan
-				var (
-					rounds     int
-					clearPrice float64
-					feasible   bool
-					merr       error
-				)
-				telemetry.WithPprofLabels("market", func() {
-					rounds, clearPrice, feasible, merr = computeReduction(&cfg, active, d.TargetW, &scratch)
-				})
-				cfg.Interactive.Span = nil
-				if merr != nil {
-					return nil, merr
-				}
-				mkSpan.SetAttr("rounds", strconv.Itoa(rounds))
-				mkSpan.End()
-				smp.sampleClear(slot, rounds)
-				res.MarketInvocations++
-				totalRounds += rounds
-				sumPrice += clearPrice
-				price = clearPrice
-				sm.invocations.Inc()
-				sm.rounds.Observe(float64(rounds))
-				feasLabel := "feasible"
-				if !feasible {
-					res.InfeasibleEvents++
-					sm.infeasible.Inc()
-					feasLabel = "infeasible"
-				}
-				runTrace.Emit(telemetry.Event{Name: "market_clear", Slot: slot,
-					Round: rounds, Price: clearPrice, TargetW: d.TargetW, Label: feasLabel})
-				if cfg.MarketDelaySlots == 0 {
-					// Immediate orders apply straight from the scratch
-					// selection — no id-keyed map on the hot path.
-					for i, j := range scratch.sel {
-						a := scratch.allocs[i]
-						j.alloc = a
-						if speed := j.profile.Speed(a); speed > 0 {
-							scheduler.ExtendRuntime(j.id, int64(slot)+int64(math.Ceil(j.remainingMin/speed)))
-						}
-					}
-					sm.latency.Observe(0)
-				} else {
-					// A raise supersedes the in-flight order's content
-					// but must not postpone its delivery — the
-					// communication is already under way. Only this
-					// delayed path materializes the id-keyed map (the
-					// scratch slices are recycled next invocation).
-					applyAt := slot + cfg.MarketDelaySlots
-					if pendingAllocs != nil && pendingApplyAt < applyAt {
-						applyAt = pendingApplyAt
-					}
-					var m map[int]float64
-					if len(scratch.sel) > 0 {
-						m = make(map[int]float64, len(scratch.sel))
-						for i, j := range scratch.sel {
-							m[j.id] = scratch.allocs[i]
-						}
-					}
-					pendingAllocs = m
-					pendingApplyAt = applyAt
-					pendingOrderSlot = slot
-				}
-			}
-		case d.Lift:
-			emergency = false
-			price = 0
-			lastTargetW = 0
-			pendingAllocs = nil
-			scheduler.Halt(false)
-			for _, j := range active {
-				j.alloc = 1
-			}
-			runTrace.Emit(telemetry.Event{Name: "emergency_lift", Slot: slot, TargetW: d.TargetW})
-			emSpan.SetAttr("lift_slot", strconv.Itoa(slot))
-			emSpan.End()
-			emSpan = nil
+		headroomW := 0.99*st.capW - runDemand
+		if headroomW < 0 {
+			headroomW = 0
 		}
-
-		// 5. Per-slot statistics.
-		if deliveredW > capW {
-			res.OverloadSlots++
-		}
-		if emergency {
-			res.EmergencySlots++
-			for _, j := range active {
-				j.affected = true
-				if j.alloc < 1 {
-					x := 1 - j.alloc
-					deltaCores := x * float64(j.cores)
-					cost := float64(j.cores) * j.trueModel.Cost(x) / 60
-					pay := price * deltaCores / 60
-					res.ReductionCoreH += deltaCores / 60
-					res.CostCoreH += cost
-					if cfg.Algorithm == AlgMPRStat || cfg.Algorithm == AlgMPRInt {
-						res.PaymentCoreH += pay
-					}
-					ps := j.pstats
-					ps.ReductionCoreH += deltaCores / 60
-					ps.CostCoreH += cost
-					if cfg.Algorithm == AlgMPRStat || cfg.Algorithm == AlgMPRInt {
-						ps.PaymentCoreH += pay
-					}
-				}
-			}
-		}
-		var activeCores float64
-		for _, j := range active {
-			activeCores += float64(j.cores)
-		}
-		if activeCores > baseCapCores {
-			res.UsedExtraCoreH += (activeCores - baseCapCores) / 60
-		}
-		if cfg.RecordSeries > 0 {
-			demandSeries.Append(int64(slot), demandW)
-			deliverSeries.Append(int64(slot), deliveredW)
-		}
-		if smp.enabled() {
-			bidderCount := 0
-			for _, j := range active {
-				if j.participates || !marketAlgo {
-					bidderCount++
-				}
-			}
-			smp.sample(slot, demandW, deliveredW, capW, price, emergency, lastTargetW, bidderCount)
-		}
-
-		// 6. Progress work.
-		for _, j := range active {
-			j.remainingMin -= j.profile.Speed(j.alloc)
-		}
-		res.Slots = slot + 1
+		startBudget = int(headroomW / maxWPC)
+	}
+	for _, req := range st.scheduler.TryStartBudget(int64(slot), startBudget) {
+		j := st.byID[req.ID]
+		j.running = true
+		j.startSlot = slot
+		j.alloc = 1
+		st.active = append(st.active, j)
 	}
 
-	// Final statistics.
+	// 3. Apply any reduction orders whose market delay has elapsed,
+	// then account power.
+	if st.pendingAllocs != nil && slot >= st.pendingApplyAt {
+		for _, j := range st.active {
+			if a, ok := st.pendingAllocs[j.id]; ok {
+				j.alloc = a
+				if speed := j.profile.Speed(a); speed > 0 {
+					st.scheduler.ExtendRuntime(j.id, int64(slot)+int64(math.Ceil(j.remainingMin/speed)))
+				}
+			}
+		}
+		st.pendingAllocs = nil
+		st.sm.latency.Observe(float64(slot - st.pendingOrderSlot))
+	}
+	var demandW, deliveredW float64
+	if cfg.PhaseAmp > 0 {
+		// Per-job power phases modulate the dynamic component.
+		omega := 2 * math.Pi / float64(cfg.PhasePeriodSlots)
+		for _, j := range st.active {
+			factor := 1 + cfg.PhaseAmp*math.Sin(omega*float64(slot)+j.phaseOffset)
+			static := float64(j.cores) * j.power.StaticW
+			dyn := float64(j.cores) * j.power.DynamicW * factor
+			demandW += static + dyn
+			deliveredW += static + j.alloc*dyn
+		}
+	} else {
+		for _, j := range st.active {
+			demandW += j.power.JobPower(float64(j.cores), 1)
+			deliveredW += j.power.JobPower(float64(j.cores), j.alloc)
+		}
+	}
+
+	// 4. Emergency control. In predictive mode the controller sees
+	// the worst forecast over the look-ahead window, so the market
+	// clears before the breach (Section III-D).
+	effDemand, effDelivered := demandW, deliveredW
+	if st.fc != nil {
+		st.fc.Observe(demandW)
+		// Forecasts drive the *declaration* only: during an active
+		// emergency the measured power governs raises and lifting,
+		// otherwise forecast-escalated targets block the lift
+		// condition and stall admissions.
+		ecState := st.ec.State()
+		// Proximity gate: anticipation only matters when demand is
+		// already close to the capacity — declaring from forecasts
+		// far below it is all false positives (the reductions
+		// stretch jobs, keep demand high, and feed back into yet
+		// more emergencies).
+		nearCapacity := demandW > 0.985*st.capW
+		if st.fc.Ready() && nearCapacity && (ecState == power.StateNormal || ecState == power.StatePending) {
+			// Anticipated demand: the point forecast, but at least a
+			// 3% margin over the current draw — once the system is
+			// this close to capacity, the reduction order must cover
+			// the typical breach depth or the raise at the actual
+			// breach pays the market delay a second time.
+			fDemand := math.Max(st.fc.PredictMax(cfg.PredictHorizonSlots), 1.03*demandW)
+			// Clamp: demand moves by job arrivals and phases — a few
+			// percent over a few minutes — and the implied target
+			// must stay within what the active jobs can possibly
+			// supply, or the emergency could never meet its own lift
+			// condition.
+			if limit := 1.08 * demandW; fDemand > limit {
+				fDemand = limit
+			}
+			var maxSupplyW float64
+			for _, j := range st.active {
+				maxSupplyW += float64(j.cores) * j.profile.MaxReduction() * j.power.DynamicW
+			}
+			if limit := 0.99*st.capW + 0.9*maxSupplyW; fDemand > limit {
+				fDemand = limit
+			}
+			if fDemand > effDemand {
+				effDemand = fDemand
+				// Future delivered power ≈ future demand minus the
+				// reduction currently in force.
+				if fDeliver := fDemand - (demandW - deliveredW); fDeliver > effDelivered {
+					effDelivered = fDeliver
+				}
+			}
+		}
+	}
+	d := st.ec.Step(effDemand, effDelivered)
+	switch {
+	case d.Declare || d.Raise:
+		if d.Declare {
+			res.EmergencyCount++
+			st.runTrace.Emit(telemetry.Event{Name: "emergency_declare", Slot: slot, TargetW: d.TargetW, Value: demandW - st.capW})
+			st.emSpan = st.tracer.StartSpan("emergency", nil)
+			st.emSpan.SetAttr("slot", strconv.Itoa(slot))
+			st.emSpan.SetAttr("algo", string(cfg.Algorithm))
+		} else {
+			st.runTrace.Emit(telemetry.Event{Name: "emergency_raise", Slot: slot, TargetW: d.TargetW, Value: demandW - st.capW})
+		}
+		st.emergency = true
+		st.lastTargetW = d.TargetW
+		st.scheduler.Halt(true)
+		if cfg.Algorithm != AlgNone {
+			// The market runs as a child span of the emergency, under
+			// the "mpr_span" pprof label so CPU profiles attribute
+			// clearing work to the market (not the slot loop).
+			mkSpan := st.emSpan.StartChild("market")
+			cfg.Interactive.Span = mkSpan
+			var (
+				rounds     int
+				clearPrice float64
+				feasible   bool
+				merr       error
+			)
+			telemetry.WithPprofLabels("market", func() {
+				rounds, clearPrice, feasible, merr = computeReduction(cfg, st.active, d.TargetW, &st.scratch)
+			})
+			cfg.Interactive.Span = nil
+			if merr != nil {
+				return merr
+			}
+			mkSpan.SetAttr("rounds", strconv.Itoa(rounds))
+			mkSpan.End()
+			st.smp.sampleClear(slot, rounds)
+			res.MarketInvocations++
+			st.totalRounds += rounds
+			st.sumPrice += clearPrice
+			st.price = clearPrice
+			st.sm.invocations.Inc()
+			st.sm.rounds.Observe(float64(rounds))
+			feasLabel := "feasible"
+			if !feasible {
+				res.InfeasibleEvents++
+				st.sm.infeasible.Inc()
+				feasLabel = "infeasible"
+			}
+			st.runTrace.Emit(telemetry.Event{Name: "market_clear", Slot: slot,
+				Round: rounds, Price: clearPrice, TargetW: d.TargetW, Label: feasLabel})
+			if cfg.MarketDelaySlots == 0 {
+				// Immediate orders apply straight from the scratch
+				// selection — no id-keyed map on the hot path.
+				for i, j := range st.scratch.sel {
+					a := st.scratch.allocs[i]
+					j.alloc = a
+					if speed := j.profile.Speed(a); speed > 0 {
+						st.scheduler.ExtendRuntime(j.id, int64(slot)+int64(math.Ceil(j.remainingMin/speed)))
+					}
+				}
+				st.sm.latency.Observe(0)
+			} else {
+				// A raise supersedes the in-flight order's content
+				// but must not postpone its delivery — the
+				// communication is already under way. Only this
+				// delayed path materializes the id-keyed map (the
+				// scratch slices are recycled next invocation).
+				applyAt := slot + cfg.MarketDelaySlots
+				if st.pendingAllocs != nil && st.pendingApplyAt < applyAt {
+					applyAt = st.pendingApplyAt
+				}
+				var m map[int]float64
+				if len(st.scratch.sel) > 0 {
+					m = make(map[int]float64, len(st.scratch.sel))
+					for i, j := range st.scratch.sel {
+						m[j.id] = st.scratch.allocs[i]
+					}
+				}
+				st.pendingAllocs = m
+				st.pendingApplyAt = applyAt
+				st.pendingOrderSlot = slot
+			}
+		}
+	case d.Lift:
+		st.emergency = false
+		st.price = 0
+		st.lastTargetW = 0
+		st.pendingAllocs = nil
+		st.scheduler.Halt(false)
+		for _, j := range st.active {
+			j.alloc = 1
+		}
+		st.runTrace.Emit(telemetry.Event{Name: "emergency_lift", Slot: slot, TargetW: d.TargetW})
+		st.emSpan.SetAttr("lift_slot", strconv.Itoa(slot))
+		st.emSpan.End()
+		st.emSpan = nil
+	}
+
+	// 5. Per-slot statistics.
+	if deliveredW > st.capW {
+		res.OverloadSlots++
+	}
+	if st.emergency {
+		res.EmergencySlots++
+		for _, j := range st.active {
+			j.affected = true
+			if j.alloc < 1 {
+				x := 1 - j.alloc
+				deltaCores := x * float64(j.cores)
+				cost := float64(j.cores) * j.trueModel.Cost(x) / 60
+				pay := st.price * deltaCores / 60
+				res.ReductionCoreH += deltaCores / 60
+				res.CostCoreH += cost
+				if cfg.Algorithm == AlgMPRStat || cfg.Algorithm == AlgMPRInt {
+					res.PaymentCoreH += pay
+				}
+				ps := j.pstats
+				ps.ReductionCoreH += deltaCores / 60
+				ps.CostCoreH += cost
+				if cfg.Algorithm == AlgMPRStat || cfg.Algorithm == AlgMPRInt {
+					ps.PaymentCoreH += pay
+				}
+			}
+		}
+	}
+	var activeCores float64
+	for _, j := range st.active {
+		activeCores += float64(j.cores)
+	}
+	if activeCores > st.baseCapCores {
+		res.UsedExtraCoreH += (activeCores - st.baseCapCores) / 60
+	}
+	if cfg.RecordSeries > 0 {
+		st.demandSeries.Append(int64(slot), demandW)
+		st.deliverSeries.Append(int64(slot), deliveredW)
+	}
+	if st.smp.enabled() {
+		bidderCount := 0
+		for _, j := range st.active {
+			if j.participates || !st.marketAlgo {
+				bidderCount++
+			}
+		}
+		st.smp.sample(slot, demandW, deliveredW, st.capW, st.price, st.emergency, st.lastTargetW, bidderCount)
+	}
+
+	// 6. Progress work.
+	for _, j := range st.active {
+		j.remainingMin -= j.profile.Speed(j.alloc)
+	}
+	res.Slots = slot + 1
+	return nil
+}
+
+// finish computes the run's final statistics and attaches observability.
+func (st *engineState) finish() *Result {
+	cfg, res := st.cfg, st.res
 	res.ExtraCapacityCoreH = float64(cfg.Trace.TotalCores) * (cfg.OversubPct / (100 + cfg.OversubPct)) * float64(res.Slots) / 60
 	var incSum float64
 	var incN int
 	var waitSum float64
 	var waitN int
-	for _, j := range jobs {
+	for _, j := range st.jobs {
 		if j.done && j.affected && j.origMin > 0 {
 			actual := float64(j.endSlot - j.startSlot)
 			incSum += (actual - j.origMin) / j.origMin
@@ -502,27 +596,43 @@ func Run(cfg Config) (*Result, error) {
 	if waitN > 0 {
 		res.MeanQueueWaitMin = waitSum / float64(waitN)
 	}
-	for _, j := range jobs {
+	for _, j := range st.jobs {
 		if j.affected {
 			res.JobsAffected++
 		}
 	}
 	if res.MarketInvocations > 0 {
-		res.MeanRounds = float64(totalRounds) / float64(res.MarketInvocations)
-		res.MeanClearingPrice = sumPrice / float64(res.MarketInvocations)
+		res.MeanRounds = float64(st.totalRounds) / float64(res.MarketInvocations)
+		res.MeanClearingPrice = st.sumPrice / float64(res.MarketInvocations)
 	}
 	if cfg.RecordSeries > 0 {
-		res.DemandSeries = demandSeries.Downsample(cfg.RecordSeries)
-		res.DeliveredSeries = deliverSeries.Downsample(cfg.RecordSeries)
+		res.DemandSeries = st.demandSeries.Downsample(cfg.RecordSeries)
+		res.DeliveredSeries = st.deliverSeries.Downsample(cfg.RecordSeries)
+	}
+	if cfg.RecordJobs {
+		res.Jobs = make([]JobOutcome, 0, len(st.jobs))
+		for _, j := range st.jobs {
+			res.Jobs = append(res.Jobs, JobOutcome{
+				ID:           j.id,
+				Cores:        j.cores,
+				SubmitSlot:   j.submitSlot,
+				StartSlot:    j.startSlot,
+				EndSlot:      j.endSlot,
+				Started:      j.running || j.done,
+				Done:         j.done,
+				Affected:     j.affected,
+				RemainingMin: j.remainingMin,
+			})
+		}
 	}
 	// An emergency still open at the horizon closes its span here so the
 	// run's span set is complete.
-	emSpan.End()
-	res.Series = seriesStore
-	res.Spans = tracer.Spans()
-	res.Telemetry = reg.Snapshot()
-	res.TraceEvents = tracer.Events()
-	return res, nil
+	st.emSpan.End()
+	res.Series = st.seriesStore
+	res.Spans = st.tracer.Spans()
+	res.Telemetry = st.reg.Snapshot()
+	res.TraceEvents = st.tracer.Events()
+	return res
 }
 
 // buildJobs assigns application profiles, cost models, participation, and

@@ -1,0 +1,384 @@
+package sim
+
+import (
+	"math"
+
+	"mpr/internal/power"
+)
+
+// This file is the event-driven core (Config.Engine == EngineEvent). It
+// drives the exact same per-slot transition as the fixed-step core
+// (engineState.step), but only for slots where an event makes a state
+// change possible; the provably inert slot ranges in between are replayed
+// in bulk. Both cores therefore produce bit-identical Results — not
+// within tolerance, bit for bit — which internal/check's engine
+// differential pins over adversarial instances.
+//
+// Event taxonomy (eventKind): job arrivals and projected job finishes are
+// the sparse skeleton of a run; overload handling (declare/raise/lift),
+// in-flight market orders, power forecasting, per-job power phases, and
+// per-slot series sampling are dense regimes expressed as self-
+// rescheduling tick events, so while any of them is in play the event
+// core degrades gracefully to one event per slot (the fixed-step core
+// plus O(log n) heap traffic) and stays bit-identical through arbitrary
+// controller state machines.
+//
+// Finish events are projections, not commitments: they are recomputed
+// from each active job's remaining work on every return to quiescence
+// (i.e. after any interval in which allocations may have changed), and a
+// finish event that fires early — because an emergency slowed the job
+// after the projection — simply lands on a slot where step() finds
+// nothing to do. Skipping is conservative: correctness never depends on
+// event exactness, only wall-clock wins do.
+
+// eventKind orders same-slot events: the kind is the second sort key
+// after the slot, so the pop order at a shared timestamp is fixed
+// (arrivals before finishes before market/control/forecast/sampler
+// ticks) regardless of insertion order.
+type eventKind uint8
+
+const (
+	evArrival  eventKind = iota // a job reaches its submit slot
+	evFinish                    // a running job's projected completion
+	evMarket                    // a delayed reduction order's apply slot
+	evControl                   // dense tick: emergency controller in flux (declare/raise/lift pending)
+	evForecast                  // dense tick: predictive forecaster must observe every slot
+	evSampler                   // dense tick: per-slot series sampling is on
+)
+
+// event is one timestamped entry in the heap. Ordering is (slot, kind,
+// job, seq): deterministic for any insertion order, with the insertion
+// sequence as the final guard (unreachable for keyed events, but the
+// contract is total).
+type event struct {
+	slot int
+	kind eventKind
+	job  int    // owning job id; -1 for singleton ticks
+	seq  uint64 // insertion order, the final tie-break
+}
+
+func (e event) less(o event) bool {
+	if e.slot != o.slot {
+		return e.slot < o.slot
+	}
+	if e.kind != o.kind {
+		return e.kind < o.kind
+	}
+	if e.job != o.job {
+		return e.job < o.job
+	}
+	return e.seq < o.seq
+}
+
+type eventKey struct {
+	kind eventKind
+	job  int
+}
+
+// eventHeap is an indexed binary min-heap of events: every (kind, job)
+// key has at most one entry, and schedule is an upsert that moves the
+// existing entry when its slot changes (finish-time recomputation). All
+// operations are O(log n) and allocation-free once the heap and index
+// reach their steady size.
+type eventHeap struct {
+	ev  []event
+	pos map[eventKey]int
+	seq uint64
+}
+
+func newEventHeap(capHint int) *eventHeap {
+	return &eventHeap{
+		ev:  make([]event, 0, capHint),
+		pos: make(map[eventKey]int, capHint),
+	}
+}
+
+func (h *eventHeap) len() int    { return len(h.ev) }
+func (h *eventHeap) empty() bool { return len(h.ev) == 0 }
+
+// topSlot returns the earliest scheduled slot, or math.MaxInt when empty.
+func (h *eventHeap) topSlot() int {
+	if len(h.ev) == 0 {
+		return math.MaxInt
+	}
+	return h.ev[0].slot
+}
+
+func (h *eventHeap) top() event { return h.ev[0] }
+
+// schedule upserts the (kind, job) event at the given slot.
+func (h *eventHeap) schedule(kind eventKind, job, slot int) {
+	k := eventKey{kind: kind, job: job}
+	if i, ok := h.pos[k]; ok {
+		if h.ev[i].slot == slot {
+			return
+		}
+		old := h.ev[i].slot
+		h.ev[i].slot = slot
+		if slot < old {
+			h.up(i)
+		} else {
+			h.down(i)
+		}
+		return
+	}
+	h.seq++
+	h.ev = append(h.ev, event{slot: slot, kind: kind, job: job, seq: h.seq})
+	h.pos[k] = len(h.ev) - 1
+	h.up(len(h.ev) - 1)
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	e := h.ev[0]
+	last := len(h.ev) - 1
+	h.swap(0, last)
+	h.ev = h.ev[:last]
+	delete(h.pos, eventKey{kind: e.kind, job: e.job})
+	if last > 0 {
+		h.down(0)
+	}
+	return e
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.ev[i], h.ev[j] = h.ev[j], h.ev[i]
+	h.pos[eventKey{kind: h.ev[i].kind, job: h.ev[i].job}] = i
+	h.pos[eventKey{kind: h.ev[j].kind, job: h.ev[j].job}] = j
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.ev[i].less(h.ev[p]) {
+			return
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.ev)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.ev[r].less(h.ev[l]) {
+			m = r
+		}
+		if !h.ev[m].less(h.ev[i]) {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+// runEvents is the event-driven core's main loop. The loop counter is
+// still the next unprocessed slot — the heap only tells it how far ahead
+// the next possible state change lies. A slot is processed through the
+// shared step() whenever an event lands on it or the state is not
+// provably quiescent; everything in between goes through skipTo.
+func (st *engineState) runEvents() error {
+	h := newEventHeap(len(st.jobs) + 8)
+	st.events = h
+	for _, j := range st.jobs {
+		h.schedule(evArrival, j.id, j.submitSlot)
+	}
+	if st.fc != nil {
+		h.schedule(evForecast, -1, 0)
+	}
+	if st.samplingDense() {
+		h.schedule(evSampler, -1, 0)
+	}
+
+	slot := 0
+	for slot <= st.horizon && (st.remainingStart > 0 || len(st.active) > 0) {
+		next := h.topSlot() // math.MaxInt when empty
+		if next > st.horizon+1 {
+			next = st.horizon + 1
+		}
+		if next > slot && st.canSkipFrom() {
+			st.refreshFinishes(slot)
+			if t := h.topSlot(); t < next {
+				next = t
+			}
+			if next > slot {
+				st.skipTo(slot, next)
+				slot = next
+				continue
+			}
+		}
+		// Drop the slot's events: their semantics live entirely in
+		// step(), which re-derives arrivals, finishes, order delivery,
+		// and controller transitions from the state itself. A stale
+		// early finish event just lands on a no-change slot.
+		for !h.empty() && h.topSlot() <= slot {
+			h.pop()
+		}
+		if err := st.step(slot); err != nil {
+			return err
+		}
+		st.scheduleTicks(slot)
+		slot++
+	}
+	return nil
+}
+
+// samplingDense reports whether some per-slot series consumer is on, in
+// which case every slot must be processed (the sampler contract is one
+// sample per simulated slot, timestamps in virtual slot time).
+func (st *engineState) samplingDense() bool {
+	return st.cfg.SampleSeries || st.cfg.RecordSeries > 0
+}
+
+// quiescentCheap is the allocation-free quiescence proxy used after
+// every processed slot: when it is false, an evControl tick keeps the
+// next slot dense. It intentionally re-derives nothing from the active
+// set — canSkipFrom does the per-job verification at skip time.
+func (st *engineState) quiescentCheap() bool {
+	return !st.cfg.Predictive && st.cfg.PhaseAmp == 0 &&
+		!st.emergency && st.pendingAllocs == nil &&
+		st.ec.State() == power.StateNormal
+}
+
+// scheduleTicks re-arms the dense-regime tick events after a processed
+// slot. Each is a keyed singleton, so re-arming is an O(log n) upsert.
+func (st *engineState) scheduleTicks(slot int) {
+	h := st.events
+	if st.fc != nil {
+		h.schedule(evForecast, -1, slot+1)
+	}
+	if st.samplingDense() {
+		h.schedule(evSampler, -1, slot+1)
+	}
+	if st.pendingAllocs != nil {
+		at := st.pendingApplyAt
+		if at <= slot {
+			at = slot + 1
+		}
+		h.schedule(evMarket, -1, at)
+	}
+	if !st.quiescentCheap() {
+		h.schedule(evControl, -1, slot+1)
+	}
+}
+
+// canSkipFrom verifies, from the state itself, that the upcoming slots
+// are inert until the next event: no dense regime is active, the
+// controller is at rest, every active job runs at full speed, and the
+// delivered power sits within capacity (so the skipped controller steps
+// are provably identity transitions). One O(active) pass per skip.
+func (st *engineState) canSkipFrom() bool {
+	if st.samplingDense() || st.cfg.Predictive || st.cfg.PhaseAmp > 0 {
+		return false
+	}
+	if st.emergency || st.pendingAllocs != nil || st.ec.State() != power.StateNormal {
+		return false
+	}
+	// A non-empty admission queue can start jobs on any upcoming slot
+	// (notably the slot right after an emergency lift re-opens admission,
+	// or whenever a finish frees cores): queued work keeps the run dense.
+	if st.scheduler.QueueLen() > 0 {
+		return false
+	}
+	var deliveredW float64
+	for _, j := range st.active {
+		if j.alloc != 1 {
+			return false
+		}
+		deliveredW += j.power.JobPower(float64(j.cores), 1)
+	}
+	return deliveredW <= st.capW
+}
+
+// refreshFinishes (re)projects every active job's finish event from its
+// current remaining work. Called on every skip attempt — i.e. on every
+// return to quiescence — which is exactly "recomputed on every speed
+// change": any interval in which allocations could move is dense, and
+// the first skip after it re-projects from the post-change remaining
+// work. Only called when canSkipFrom holds, so every active job runs at
+// speed exactly 1 and the projection is exact (see skipProgress).
+func (st *engineState) refreshFinishes(slot int) {
+	for _, j := range st.active {
+		st.events.schedule(evFinish, j.id, slot+finishSteps(j.remainingMin))
+	}
+}
+
+// finishSteps returns the number of further unit-speed slots the job
+// stays active: the smallest q ≥ 0 with remaining − q ≤ 1e-9 (the
+// finish threshold step() tests at the top of each slot). The
+// subtraction remaining − float64(q) is exact for every q that matters
+// (both operands are multiples of ulp(remaining) and the difference has
+// magnitude below remaining's binade), so the comparison is the same
+// one the fixed-step core performs after q iterated decrements.
+func finishSteps(remaining float64) int {
+	q := int(math.Ceil(remaining - 1e-9))
+	if q < 0 {
+		q = 0
+	}
+	for q > 0 && remaining-float64(q-1) <= 1e-9 {
+		q--
+	}
+	for remaining-float64(q) > 1e-9 {
+		q++
+	}
+	return q
+}
+
+// skipProgress returns the remaining work after k unit-speed slots,
+// bit-identical to k iterated `remaining -= 1.0` steps. While the
+// minuend stays ≥ 1 each decrement is exact (1 is a multiple of
+// ulp(minuend) for any minuend in [1, 2^53), and the difference — a
+// multiple of the same grid with smaller magnitude — is representable in
+// its finer binade), so those steps collapse into one subtraction; at
+// most the final sub-1 step can round, and it is replayed literally.
+func skipProgress(r float64, k int) float64 {
+	if k <= 0 {
+		return r
+	}
+	if r >= float64(k)+1 {
+		// Every minuend stays ≥ 1: all k steps exact.
+		return r - float64(k)
+	}
+	if r >= 1 {
+		s := int(math.Floor(r)) // steps with minuend ≥ 1
+		if s > k {
+			s = k
+		}
+		r -= float64(s)
+		k -= s
+	}
+	for ; k > 0; k-- {
+		r -= 1
+	}
+	return r
+}
+
+// skipTo replays the inert slot range [from, to) in bulk: no arrivals,
+// no finishes, no controller transitions, no market activity, no series
+// consumers — the fixed-step core would only have decremented remaining
+// work by 1.0 per slot, accrued the used-extra-capacity integral, and
+// advanced the slot counter. Float accumulators are replayed as the same
+// sequence of additions (k·fl(x) additions ≠ fl(k·x)), keeping the
+// Result bit-identical; integer state advances in one move.
+func (st *engineState) skipTo(from, to int) {
+	k := to - from
+	for _, j := range st.active {
+		j.remainingMin = skipProgress(j.remainingMin, k)
+	}
+	var activeCores float64
+	for _, j := range st.active {
+		activeCores += float64(j.cores)
+	}
+	if activeCores > st.baseCapCores {
+		extra := (activeCores - st.baseCapCores) / 60
+		for i := 0; i < k; i++ {
+			st.res.UsedExtraCoreH += extra
+		}
+	}
+	st.res.Slots = to
+}

@@ -1,0 +1,416 @@
+package sim
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"mpr/internal/telemetry/tsdb"
+	"mpr/internal/trace"
+)
+
+// sameEngineResult asserts the deterministic surfaces of two Results are
+// bit-identical — the in-package smoke version of the exhaustive engine
+// differential in internal/check.
+func sameEngineResult(t *testing.T, slot, event *Result) {
+	t.Helper()
+	type pin struct {
+		name string
+		a, b any
+	}
+	pins := []pin{
+		{"Slots", slot.Slots, event.Slots},
+		{"OverloadSlots", slot.OverloadSlots, event.OverloadSlots},
+		{"EmergencyCount", slot.EmergencyCount, event.EmergencyCount},
+		{"EmergencySlots", slot.EmergencySlots, event.EmergencySlots},
+		{"InfeasibleEvents", slot.InfeasibleEvents, event.InfeasibleEvents},
+		{"JobsCompleted", slot.JobsCompleted, event.JobsCompleted},
+		{"JobsAffected", slot.JobsAffected, event.JobsAffected},
+		{"ReductionCoreH", slot.ReductionCoreH, event.ReductionCoreH},
+		{"CostCoreH", slot.CostCoreH, event.CostCoreH},
+		{"PaymentCoreH", slot.PaymentCoreH, event.PaymentCoreH},
+		{"ExtraCapacityCoreH", slot.ExtraCapacityCoreH, event.ExtraCapacityCoreH},
+		{"UsedExtraCoreH", slot.UsedExtraCoreH, event.UsedExtraCoreH},
+		{"MeanRuntimeIncrease", slot.MeanRuntimeIncrease, event.MeanRuntimeIncrease},
+		{"MeanQueueWaitMin", slot.MeanQueueWaitMin, event.MeanQueueWaitMin},
+		{"MarketInvocations", slot.MarketInvocations, event.MarketInvocations},
+		{"MeanRounds", slot.MeanRounds, event.MeanRounds},
+		{"MeanClearingPrice", slot.MeanClearingPrice, event.MeanClearingPrice},
+		{"CapacityW", slot.CapacityW, event.CapacityW},
+		{"PeakW", slot.PeakW, event.PeakW},
+	}
+	for _, p := range pins {
+		if p.a != p.b {
+			t.Errorf("%s: slot engine %v vs event engine %v", p.name, p.a, p.b)
+		}
+	}
+	if !reflect.DeepEqual(slot.PerProfile, event.PerProfile) {
+		t.Errorf("PerProfile diverged: %+v vs %+v", slot.PerProfile, event.PerProfile)
+	}
+	if !reflect.DeepEqual(slot.Jobs, event.Jobs) {
+		for i := range slot.Jobs {
+			if i < len(event.Jobs) && slot.Jobs[i] != event.Jobs[i] {
+				t.Errorf("job %d diverged: %+v vs %+v", slot.Jobs[i].ID, slot.Jobs[i], event.Jobs[i])
+				return
+			}
+		}
+		t.Errorf("Jobs diverged (lengths %d vs %d)", len(slot.Jobs), len(event.Jobs))
+	}
+}
+
+func runEngine(t *testing.T, cfg Config, engine Engine) *Result {
+	t.Helper()
+	cfg.Engine = engine
+	cfg.RecordJobs = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("engine %s: %v", engine, err)
+	}
+	return res
+}
+
+// TestEngineEventMatchesSlot pins the event core against the fixed-step
+// core over the regimes that exercise every event kind: markets with and
+// without delay, backfill, predictive admission, power phases, and the
+// no-algorithm baseline.
+func TestEngineEventMatchesSlot(t *testing.T) {
+	tr := testTrace(t, 3)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"mpr-stat", Config{Trace: tr, OversubPct: 15, Algorithm: AlgMPRStat, Seed: 7}},
+		{"mpr-int", Config{Trace: tr, OversubPct: 12, Algorithm: AlgMPRInt, Seed: 11}},
+		{"none", Config{Trace: tr, OversubPct: 15, Algorithm: AlgNone, Seed: 7}},
+		{"eql", Config{Trace: tr, OversubPct: 18, Algorithm: AlgEQL, Seed: 5}},
+		{"delay-backfill", Config{Trace: tr, OversubPct: 15, Algorithm: AlgMPRStat, Seed: 7,
+			MarketDelaySlots: 3, Backfill: true}},
+		{"predictive", Config{Trace: tr, OversubPct: 15, Algorithm: AlgMPRStat, Seed: 7,
+			Predictive: true, MarketDelaySlots: 2}},
+		{"phases", Config{Trace: tr, OversubPct: 15, Algorithm: AlgMPRStat, Seed: 7,
+			PhaseAmp: 0.1, PhasePeriodSlots: 45}},
+		{"participation", Config{Trace: tr, OversubPct: 15, Algorithm: AlgMPRStat, Seed: 9,
+			Participation: 0.6, StatBidFactor: 1.4, CostErrorRand: 0.2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := runEngine(t, tc.cfg, EngineSlot)
+			b := runEngine(t, tc.cfg, EngineEvent)
+			sameEngineResult(t, a, b)
+		})
+	}
+}
+
+// TestSeriesAcrossEngines is the sampler/slot-coupling regression: with
+// per-slot sampling on, both engines must emit bit-identical series —
+// same virtual-slot timestamps, same values, byte-identical JSONL
+// export — and identical downsampled power timelines.
+func TestSeriesAcrossEngines(t *testing.T) {
+	tr := testTrace(t, 5)
+	cfg := Config{
+		Trace: tr, OversubPct: 15, Algorithm: AlgMPRStat, Seed: 7,
+		SampleSeries: true, SeriesCapacity: 512, RecordSeries: 400,
+	}
+	a := runEngine(t, cfg, EngineSlot)
+	b := runEngine(t, cfg, EngineEvent)
+	var ja, jb bytes.Buffer
+	if err := tsdb.WriteJSONL(&ja, a.Series.Query(tsdb.Query{Resolution: tsdb.ResRaw})); err != nil {
+		t.Fatal(err)
+	}
+	if err := tsdb.WriteJSONL(&jb, b.Series.Query(tsdb.Query{Resolution: tsdb.ResRaw})); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Fatalf("sampled series diverged across engines (%d vs %d bytes)", ja.Len(), jb.Len())
+	}
+	if !reflect.DeepEqual(a.DemandSeries, b.DemandSeries) || !reflect.DeepEqual(a.DeliveredSeries, b.DeliveredSeries) {
+		t.Fatal("recorded power series diverged across engines")
+	}
+	sameEngineResult(t, a, b)
+}
+
+// TestSkipProgressMatchesIterated is the floating-point contract behind
+// bulk skipping: skipProgress must reproduce k iterated unit decrements
+// bit for bit, and finishSteps must land on the same slot at which the
+// iterated loop first crosses the finish threshold.
+func TestSkipProgressMatchesIterated(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200000; i++ {
+		var r float64
+		switch i % 4 {
+		case 0:
+			r = rng.Float64() * 1e5
+		case 1:
+			r = rng.Float64() * 10
+		case 2:
+			r = float64(rng.Intn(10000)) / 60 // trace-shaped: seconds/60
+		default:
+			r = float64(rng.Intn(5)) + rng.Float64()*1e-9
+		}
+		k := rng.Intn(2000)
+		it := r
+		for s := 0; s < k; s++ {
+			it -= 1.0
+		}
+		if got := skipProgress(r, k); got != it {
+			t.Fatalf("skipProgress(%v, %d) = %v, iterated %v", r, k, got, it)
+		}
+		// finishSteps vs the slot loop: decrement until ≤ threshold.
+		steps := 0
+		for v := r; v > 1e-9 && steps < 1<<20; steps++ {
+			v -= 1.0
+		}
+		if got := finishSteps(r); got != steps {
+			t.Fatalf("finishSteps(%v) = %d, iterated %d", r, got, steps)
+		}
+	}
+}
+
+// TestEventOrderDeterministic pins the heap's tie-break contract:
+// same-slot events pop in the fixed (kind, job) priority order no
+// matter the insertion order.
+func TestEventOrderDeterministic(t *testing.T) {
+	base := []event{
+		{slot: 5, kind: evArrival, job: 2},
+		{slot: 5, kind: evArrival, job: 9},
+		{slot: 5, kind: evFinish, job: 1},
+		{slot: 5, kind: evFinish, job: 7},
+		{slot: 5, kind: evMarket, job: -1},
+		{slot: 5, kind: evControl, job: -1},
+		{slot: 5, kind: evForecast, job: -1},
+		{slot: 5, kind: evSampler, job: -1},
+		{slot: 3, kind: evFinish, job: 2},
+		{slot: 7, kind: evArrival, job: 1},
+	}
+	want := []event{
+		{slot: 3, kind: evFinish, job: 2},
+		{slot: 5, kind: evArrival, job: 2},
+		{slot: 5, kind: evArrival, job: 9},
+		{slot: 5, kind: evFinish, job: 1},
+		{slot: 5, kind: evFinish, job: 7},
+		{slot: 5, kind: evMarket, job: -1},
+		{slot: 5, kind: evControl, job: -1},
+		{slot: 5, kind: evForecast, job: -1},
+		{slot: 5, kind: evSampler, job: -1},
+		{slot: 7, kind: evArrival, job: 1},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		order := rng.Perm(len(base))
+		h := newEventHeap(len(base))
+		for _, i := range order {
+			h.schedule(base[i].kind, base[i].job, base[i].slot)
+		}
+		for i := range want {
+			got := h.pop()
+			if got.slot != want[i].slot || got.kind != want[i].kind || got.job != want[i].job {
+				t.Fatalf("trial %d (order %v): pop %d = {slot %d kind %d job %d}, want {slot %d kind %d job %d}",
+					trial, order, i, got.slot, got.kind, got.job, want[i].slot, want[i].kind, want[i].job)
+			}
+		}
+		if !h.empty() {
+			t.Fatalf("trial %d: heap not drained", trial)
+		}
+	}
+}
+
+// TestEventHeapReschedule pins the indexed upsert: re-scheduling a keyed
+// event moves it instead of duplicating it, in both directions.
+func TestEventHeapReschedule(t *testing.T) {
+	h := newEventHeap(4)
+	h.schedule(evFinish, 1, 100)
+	h.schedule(evFinish, 2, 50)
+	h.schedule(evFinish, 1, 10) // move earlier
+	if h.len() != 2 {
+		t.Fatalf("len = %d after reschedule, want 2", h.len())
+	}
+	if e := h.pop(); e.job != 1 || e.slot != 10 {
+		t.Fatalf("pop = %+v, want job 1 slot 10", e)
+	}
+	h.schedule(evFinish, 2, 500) // move later
+	h.schedule(evFinish, 3, 70)
+	if e := h.pop(); e.job != 3 || e.slot != 70 {
+		t.Fatalf("pop = %+v, want job 3 slot 70", e)
+	}
+	if e := h.pop(); e.job != 2 || e.slot != 500 {
+		t.Fatalf("pop = %+v, want job 2 slot 500", e)
+	}
+}
+
+// TestEventHeapSteadyZeroAlloc gates the heap's steady state: once keys
+// and capacity exist, schedule/pop cycles allocate nothing.
+func TestEventHeapSteadyZeroAlloc(t *testing.T) {
+	h := newEventHeap(64)
+	for id := 0; id < 64; id++ {
+		h.schedule(evFinish, id, 1000+id)
+	}
+	slot := 2000
+	if allocs := testing.AllocsPerRun(1000, func() {
+		e := h.pop()
+		slot++
+		h.schedule(e.kind, e.job, slot)
+		h.schedule(evControl, -1, slot+1)
+		e = h.pop()
+		h.schedule(e.kind, e.job, slot+64)
+	}); allocs != 0 {
+		t.Fatalf("heap steady state allocates %v per cycle, want 0", allocs)
+	}
+}
+
+// TestEventSkipSteadyZeroAlloc gates the event loop's skip path: with
+// jobs running and the system quiescent, the quiescence check, finish
+// re-projection, and bulk replay allocate nothing.
+func TestEventSkipSteadyZeroAlloc(t *testing.T) {
+	jobs := make([]trace.Job, 0, 16)
+	for i := 0; i < 16; i++ {
+		jobs = append(jobs, trace.Job{ID: i + 1, Cores: 4, Submit: 0, Runtime: 6000000})
+	}
+	cfg := Config{
+		Trace:     &trace.Trace{Name: "steady", TotalCores: 256, Jobs: jobs},
+		Algorithm: AlgNone,
+		Seed:      1,
+	}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := newEngineState(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.events = newEventHeap(len(st.jobs) + 8)
+	if err := st.step(0); err != nil { // admit and start everything
+		t.Fatal(err)
+	}
+	if len(st.active) != 16 {
+		t.Fatalf("active = %d, want 16", len(st.active))
+	}
+	slot := 1
+	if allocs := testing.AllocsPerRun(500, func() {
+		if !st.canSkipFrom() {
+			t.Fatal("expected quiescent state")
+		}
+		st.refreshFinishes(slot)
+		st.skipTo(slot, slot+7)
+		slot += 7
+	}); allocs != 0 {
+		t.Fatalf("skip path allocates %v per cycle, want 0", allocs)
+	}
+}
+
+// sparseTrace builds the sparse long-horizon benchmark workload: bursts
+// of overlapping jobs separated by long idle gaps, so the fixed-step
+// core pays for every empty minute while the event core jumps between
+// bursts. Bursts overlap enough to breach the oversubscribed capacity,
+// so each one also exercises declare → clear → lift.
+func sparseTrace(bursts, burstJobs, gapSlots int, runtimeMin int64) *trace.Trace {
+	jobs := make([]trace.Job, 0, bursts*burstJobs)
+	id := 1
+	for b := 0; b < bursts; b++ {
+		submit := int64(b) * int64(gapSlots) * 60
+		for i := 0; i < burstJobs; i++ {
+			jobs = append(jobs, trace.Job{ID: id, Cores: 16, Submit: submit, Runtime: runtimeMin * 60})
+			id++
+		}
+	}
+	return &trace.Trace{Name: "sparse", TotalCores: 256, Jobs: jobs}
+}
+
+// sparseConfig is the speedup benchmark's shape: few jobs (per-job
+// setup — profile assignment, static-bid precomputation — is identical
+// under both engines and must not drown the loops being compared) and
+// very long idle gaps, so the horizon is ~9M slots while only ~120
+// events ever fire.
+func sparseConfig(engine Engine) Config {
+	return Config{
+		Trace:      sparseTrace(60, 2, 150000, 30),
+		OversubPct: 15,
+		Algorithm:  AlgMPRStat,
+		Seed:       7,
+		Engine:     engine,
+	}
+}
+
+// TestEventEngineSpeedup is the CI wall-clock gate: on the sparse
+// long-horizon workload (~1 burst per 4000 simulated slots) the event
+// core must be at least 10× faster than the fixed-step core while
+// producing the bit-identical result. Each engine is timed best-of-3 —
+// the event run is ~25 ms, small enough that one scheduler hiccup on a
+// loaded CI box shifts the ratio across the gate; the minimum is the
+// stable estimate of what the code costs.
+func TestEventEngineSpeedup(t *testing.T) {
+	timeRun := func(engine Engine) (time.Duration, *Result) {
+		cfg := sparseConfig(engine)
+		cfg.RecordJobs = true
+		var best time.Duration
+		var res *Result
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			r, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); res == nil || d < best {
+				best, res = d, r
+			}
+		}
+		return best, res
+	}
+	// Warm both paths once (first-run page faults, lazy init).
+	timeRun(EngineSlot)
+	timeRun(EngineEvent)
+	slotD, slotRes := timeRun(EngineSlot)
+	eventD, eventRes := timeRun(EngineEvent)
+	sameEngineResult(t, slotRes, eventRes)
+	if slotRes.EmergencyCount == 0 {
+		t.Fatal("sparse benchmark produced no emergencies — not exercising the market")
+	}
+	ratio := float64(slotD) / float64(eventD)
+	t.Logf("sparse horizon %d slots: slot %v, event %v, speedup %.1f×",
+		slotRes.Slots, slotD, eventD, ratio)
+	if ratio < 10 {
+		t.Fatalf("event engine speedup %.1f× below the 10× gate (slot %v, event %v)", ratio, slotD, eventD)
+	}
+}
+
+// BenchmarkEngineSparse measures both cores on the sparse long-horizon
+// workload (the BENCH_sweep.json engines section runs the same shape).
+func BenchmarkEngineSparse(b *testing.B) {
+	for _, engine := range Engines() {
+		b.Run(string(engine), func(b *testing.B) {
+			cfg := sparseConfig(engine)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineDense measures both cores on a busy trace (arrivals or
+// finishes nearly every slot) — the event core's worst case, pinned here
+// to stay within noise of the fixed-step core.
+func BenchmarkEngineDense(b *testing.B) {
+	tr, err := trace.Generate(trace.GenConfig{
+		Name: "dense", Seed: 3, TotalCores: 256, Days: 7,
+		JobCount: 1500, MeanUtil: 0.72, MaxJobFrac: 0.25,
+		UtilSigma: 0.006, Revert: 0.004, DiurnalAmp: 0.08,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, engine := range Engines() {
+		b.Run(string(engine), func(b *testing.B) {
+			cfg := Config{Trace: tr, OversubPct: 15, Algorithm: AlgMPRStat, Seed: 7, Engine: engine}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -15,6 +15,24 @@ type ProfileStats struct {
 	PaymentCoreH   float64
 }
 
+// JobOutcome is one job's recorded timeline (Config.RecordJobs): the
+// per-job pinning surface of the engine differential in internal/check.
+type JobOutcome struct {
+	ID         int
+	Cores      int
+	SubmitSlot int
+	StartSlot  int
+	EndSlot    int
+	Started    bool
+	Done       bool
+	Affected   bool
+	// RemainingMin is the job's remaining work when the run ended (at or
+	// below the finish threshold for completed jobs), recorded bit-exactly
+	// so the differential pins per-slot progress arithmetic, not just
+	// integer timelines.
+	RemainingMin float64
+}
+
 // Result carries everything the evaluation figures need from one run.
 type Result struct {
 	Algorithm  Algorithm
@@ -78,6 +96,10 @@ type Result struct {
 
 	// PerProfile aggregates per-application outcomes.
 	PerProfile map[string]*ProfileStats
+
+	// Jobs holds per-job timelines when Config.RecordJobs is set, in
+	// trace order.
+	Jobs []JobOutcome
 
 	// DemandSeries and DeliveredSeries are downsampled power timelines
 	// (watts) when Config.RecordSeries > 0.
