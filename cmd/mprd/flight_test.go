@@ -1,0 +1,252 @@
+package main
+
+import (
+	"net"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mpr/internal/agentproto"
+	"mpr/internal/core"
+	"mpr/internal/telemetry/flight"
+	"mpr/internal/telemetry/tsdb"
+)
+
+// bidFunc adapts a function to core.Bidder for test fleets.
+type bidFunc func(price float64) core.Bid
+
+func (f bidFunc) RespondBid(price float64) core.Bid { return f(price) }
+
+func bundlesIn(t *testing.T, dir, reason string) []string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, "flight-*-"+reason+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestObsShutdownIdempotent is the double-flush regression test for the
+// exit paths: the signal path and the deferred drain may both call
+// shutdown, and the second call must return immediately with the first
+// call's result instead of deadlocking on the drained sampler — with
+// every sink (trace log, series log, exit flight bundle) flushed exactly
+// once.
+func TestObsShutdownIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	clock := tsdb.NewFakeClock(time.Unix(1000, 0))
+	o, err := newObs(obsConfig{
+		SampleInterval: time.Second,
+		TraceLogPath:   filepath.Join(dir, "trace.jsonl"),
+		SeriesLogPath:  filepath.Join(dir, "series.csv"),
+		FlightDir:      dir,
+		AgentCount:     func() int { return 1 },
+		Clock:          clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "startup sample", func() bool { return o.agentsSeries.Total() >= 1 })
+
+	// Two exit paths race shutdown; both must return the same result.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = o.shutdown()
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("concurrent shutdown deadlocked")
+	}
+	if errs[0] != errs[1] {
+		t.Fatalf("shutdown errors diverge: %v vs %v", errs[0], errs[1])
+	}
+	// A third, sequential call is equally safe.
+	if err := o.shutdown(); err != errs[0] {
+		t.Fatalf("repeated shutdown = %v, want %v", err, errs[0])
+	}
+	// The drain ran once: startup sample + one final sample, no more.
+	if got := o.agentsSeries.Total(); got != 2 {
+		t.Fatalf("samples after double shutdown = %d, want 2 (drain ran twice?)", got)
+	}
+	// Exactly one exit bundle, schema-valid.
+	exits := bundlesIn(t, dir, "exit")
+	if len(exits) != 1 {
+		t.Fatalf("exit bundles = %v, want exactly 1", exits)
+	}
+	if _, err := flight.ReadBundleFile(exits[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvictionBurstDumpsOneBundle is the PR's acceptance path end to
+// end: a real manager evicts a deliberately stalled agent out of a live
+// fleet, the eviction lands in the mpr_mgr_evictions series via the
+// obs sampler, the EvictionBurst rule fires on the next recordMarket,
+// and the flight recorder writes exactly one schema-valid mprflight/v1
+// bundle — cooldown suppressing the re-firings — containing the
+// triggering firing, a goroutine profile, the eviction trace event, and
+// the mpr_rt_* window.
+func TestEvictionBurstDumpsOneBundle(t *testing.T) {
+	dir := t.TempDir()
+	clock := tsdb.NewFakeClock(time.Unix(2000, 0))
+	// The sampler goroutine polls these closures from the moment newObs
+	// returns, while the manager is still being constructed below — guard
+	// the handoff.
+	var (
+		mmu sync.Mutex
+		mgr *agentproto.Manager
+	)
+	getM := func() *agentproto.Manager { mmu.Lock(); defer mmu.Unlock(); return mgr }
+	o, err := newObs(obsConfig{
+		SampleInterval: time.Second,
+		FlightDir:      dir,
+		FlightCooldown: time.Minute,
+		AgentCount: func() int {
+			if m := getM(); m != nil {
+				return m.AgentCount()
+			}
+			return 0
+		},
+		Evictions: func() int64 {
+			if m := getM(); m != nil {
+				return m.Evictions()
+			}
+			return 0
+		},
+		Clock: clock,
+		Logf:  t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.shutdown()
+
+	m, err := agentproto.NewManager("127.0.0.1:0", agentproto.ManagerConfig{
+		RoundTimeout:     150 * time.Millisecond,
+		EvictAfterMisses: 1,
+		Telemetry:        o.reg,
+		Tracer:           o.tracer,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	mmu.Lock()
+	mgr = m
+	mmu.Unlock()
+
+	dial := func(job string, strat core.Bidder) *agentproto.Agent {
+		t.Helper()
+		mgrEnd, agentEnd := net.Pipe()
+		if err := m.ServeConn(mgrEnd); err != nil {
+			t.Fatal(err)
+		}
+		a, err := agentproto.DialConn(agentEnd, agentproto.AgentConfig{
+			JobID: job, Cores: 64, WattsPerCore: 125, MaxFrac: 0.4,
+			Strategy: strat,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { a.Close() })
+		return a
+	}
+	for _, job := range []string{"good-0", "good-1", "good-2"} {
+		dial(job, bidFunc(func(price float64) core.Bid {
+			return core.Bid{Delta: 25.6, B: 10}
+		}))
+	}
+	// The stalled agent reads prices but never answers: its RespondBid
+	// blocks past every round deadline, burning the one-miss budget.
+	stall := make(chan struct{})
+	t.Cleanup(func() { close(stall) })
+	dial("stall", bidFunc(func(price float64) core.Bid {
+		<-stall
+		return core.Bid{}
+	}))
+	waitFor(t, "fleet registered", func() bool { return m.AgentCount() == 4 })
+
+	out, err := m.RunMarket(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "eviction", func() bool { return m.Evictions() == 1 })
+
+	// One sampler tick captures the eviction delta; recordMarket then
+	// evaluates the rules from the current second forward, so wait for the
+	// delta-1 point (not the startup sample's zero) to land in the window.
+	clock.Advance(time.Second)
+	waitFor(t, "eviction sample", func() bool {
+		data := o.store.Query(tsdb.Query{Name: seriesEvictions, Start: clock.Now().Unix()})
+		return len(data) == 1 && len(data[0].Points) > 0 && data[0].Points[0].Max > 0
+	})
+	o.recordMarket(5000, out.Result)
+
+	alertBundles := bundlesIn(t, dir, "alert")
+	if len(alertBundles) != 1 {
+		t.Fatalf("alert bundles after first firing = %v, want exactly 1", alertBundles)
+	}
+	// The rule keeps firing on subsequent markets; the cooldown holds.
+	o.recordMarket(5000, out.Result)
+	clock.Advance(time.Second)
+	waitFor(t, "next sample", func() bool { return o.agentsSeries.Total() >= 3 })
+	o.recordMarket(5000, out.Result)
+	if got := bundlesIn(t, dir, "alert"); len(got) != 1 {
+		t.Fatalf("alert bundles after re-firings = %v, want still exactly 1 (cooldown)", got)
+	}
+
+	b, err := flight.ReadBundleFile(alertBundles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Trigger == nil || b.Trigger.Rule != "EvictionBurst" {
+		t.Fatalf("bundle trigger = %+v, want EvictionBurst", b.Trigger)
+	}
+	if !strings.Contains(b.GoroutineProfile, "goroutine profile:") {
+		t.Error("bundle is missing a goroutine profile")
+	}
+	foundEvict := false
+	for _, e := range b.Events {
+		if e.Name == "eviction" && strings.HasPrefix(e.Label, "stall:") {
+			foundEvict = true
+		}
+	}
+	if !foundEvict {
+		t.Error("bundle events do not include the stall agent's eviction")
+	}
+	for _, name := range []string{flight.SeriesGoroutines, flight.SeriesHeapInuse, seriesEvictions} {
+		found := false
+		for _, sd := range b.Series {
+			if sd.Name == name && len(sd.Points) > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("bundle series window missing %s", name)
+		}
+	}
+
+	// The HTTP surface reflects the dump and serves the runtime snapshot.
+	rec := httptest.NewRecorder()
+	o.handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flight", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"dumps": 1`) {
+		t.Errorf("/debug/flight = %d %s", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	o.handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/rt", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"goroutines"`) {
+		t.Errorf("/debug/rt = %d %s", rec.Code, rec.Body.String())
+	}
+}

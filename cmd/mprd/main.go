@@ -35,6 +35,17 @@
 // and per-market series; -tracelog and -serieslog persist the event
 // stream and the series store, flushed on shutdown. SIGINT/SIGTERM
 // drain the sampler and flush the sinks before exiting.
+//
+// With -flight DIR the daemon arms its black-box flight recorder: a
+// runtime-health sampler (goroutines, heap in-use, GC pause p99, sched
+// latency p99) joins the tick as mpr_rt_* series, the process-health
+// alert rules join the live scorecard, and a trigger — a fresh alert
+// firing (per-rule -flight-cooldown), SIGQUIT, process exit, or POST
+// /debug/flight/dump — writes a versioned mprflight/v1 bundle into DIR:
+// build info, flag echo, goroutine profile, recent trace events/spans,
+// HDR summaries, alert history, and the series window around the
+// trigger. /debug/flight reports recorder status; /debug/rt the latest
+// runtime snapshot.
 package main
 
 import (
@@ -74,8 +85,14 @@ func run() int {
 		sample    = flag.Duration("sample", time.Second, "wall-clock series sampling interval")
 		tracelog  = flag.String("tracelog", "", "file receiving every trace event as JSONL (flushed on shutdown)")
 		serieslog = flag.String("serieslog", "", "file receiving the series store on shutdown (.csv for CSV, else JSONL)")
+		flightDir = flag.String("flight", "", "directory receiving mprflight/v1 black-box bundles on alert/SIGQUIT/exit (empty = disabled)")
+		flightCD  = flag.Duration("flight-cooldown", time.Minute, "per-rule suppression window between alert-triggered flight dumps")
 	)
 	flag.Parse()
+	// Echo the effective flag configuration into every flight bundle so
+	// an incident artifact always says how the daemon was run.
+	configEcho := make(map[string]string)
+	flag.VisitAll(func(f *flag.Flag) { configEcho[f.Name] = f.Value.String() })
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -97,7 +114,10 @@ func run() int {
 			}
 			return m.Evictions()
 		},
-		Logf: log.Printf,
+		FlightDir:      *flightDir,
+		FlightCooldown: *flightCD,
+		ConfigEcho:     configEcho,
+		Logf:           log.Printf,
 	})
 	if err != nil {
 		log.Print(err)
@@ -105,11 +125,27 @@ func run() int {
 	}
 	// Drain: one final sample, then the sinks flush exactly once —
 	// whether we exit via signal, stdin EOF, or one-shot completion.
+	// shutdown is idempotent, so racing exit paths cannot double-flush.
 	defer func() {
 		if err := o.shutdown(); err != nil {
 			log.Printf("telemetry flush: %v", err)
 		}
 	}()
+
+	if *flightDir != "" {
+		// SIGQUIT opens the black box without landing the plane: dump a
+		// signal-reason bundle and keep serving. (Registering the handler
+		// replaces Go's default stack-dump-and-exit SIGQUIT behavior; the
+		// goroutine profile inside the bundle carries the same evidence.)
+		sigq := make(chan os.Signal, 1)
+		signal.Notify(sigq, syscall.SIGQUIT)
+		go func() {
+			for range sigq {
+				o.dumpOnSignal()
+			}
+		}()
+		log.Printf("flight recorder armed: bundles in %s (SIGQUIT or POST /debug/flight/dump for a manual one)", *flightDir)
+	}
 
 	mcfg := agentproto.ManagerConfig{
 		Logf:             log.Printf,

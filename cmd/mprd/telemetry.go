@@ -5,12 +5,14 @@ import (
 	"context"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"mpr/internal/agentproto"
 	"mpr/internal/core"
 	"mpr/internal/telemetry"
 	"mpr/internal/telemetry/alerts"
+	"mpr/internal/telemetry/flight"
 	"mpr/internal/telemetry/tsdb"
 )
 
@@ -48,6 +50,16 @@ type obsConfig struct {
 	AgentCount func() int
 	// Evictions reports the cumulative slow-agent evictions (optional).
 	Evictions func() int64
+	// FlightDir, when set, enables the black-box flight recorder: the
+	// runtime-health sampler joins the tick, alerts.RuntimeRules join the
+	// live scorecard, fresh firings trigger bundle dumps (per-rule
+	// FlightCooldown), and shutdown parks a final exit-reason bundle.
+	FlightDir string
+	// FlightCooldown is the per-rule dump suppression window
+	// (default 60s).
+	FlightCooldown time.Duration
+	// ConfigEcho is the flag echo stored in every flight bundle.
+	ConfigEcho map[string]string
 	// Logf receives alert firings and flush diagnostics.
 	Logf func(format string, args ...interface{})
 	// Clock drives the sampler (tests inject tsdb.FakeClock).
@@ -67,6 +79,7 @@ type obs struct {
 	droppedGauge *telemetry.Gauge
 	alertsFired  *telemetry.CounterFamily
 	rules        []alerts.Rule
+	flight       *flight.Recorder // nil when -flight is off (nil-safe)
 
 	sampler   *tsdb.TickerSampler
 	start     time.Time
@@ -76,6 +89,12 @@ type obs struct {
 
 	cancel context.CancelFunc
 	done   chan error
+
+	// shutdown is idempotent: the signal path and the deferred drain in
+	// run() may both reach it, and only one may cancel + await the
+	// sampler (a second receive on done would deadlock forever).
+	shutdownOnce sync.Once
+	shutdownErr  error
 }
 
 // newObs builds and starts the runtime; call shutdown to drain it.
@@ -114,6 +133,26 @@ func newObs(c obsConfig) (*obs, error) {
 		o.traceBuf = bufio.NewWriter(f)
 		o.tracer.SetSink(o.traceBuf)
 	}
+	if c.FlightDir != "" {
+		rec, err := flight.New(flight.Config{
+			Registry:   o.reg,
+			Tracer:     o.tracer,
+			Store:      o.store,
+			Dir:        c.FlightDir,
+			Cooldown:   c.FlightCooldown,
+			ConfigEcho: c.ConfigEcho,
+			Clock:      c.Clock.Now,
+			Logf:       c.Logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		o.flight = rec
+		// With the runtime sampler feeding mpr_rt_* series, the process-
+		// health rules have data to evaluate; without -flight they would
+		// be inert anyway (the series never exist).
+		o.rules = append(o.rules, alerts.RuntimeRules()...)
+	}
 	o.sampler = &tsdb.TickerSampler{
 		Interval: c.SampleInterval,
 		Clock:    c.Clock,
@@ -129,6 +168,7 @@ func newObs(c obsConfig) (*obs, error) {
 
 // sample records one wall-clock observation.
 func (o *obs) sample(now time.Time) {
+	o.flight.SampleRuntime(now)
 	o.agentsSeries.Append(now.Unix(), float64(o.cfg.AgentCount()))
 	if o.cfg.Evictions != nil {
 		cur := o.cfg.Evictions()
@@ -165,11 +205,30 @@ func (o *obs) flush() error {
 	return first
 }
 
-// shutdown stops the sampler, waits for the final sample + flush, and
-// returns the flush error. Safe to call once.
+// shutdown stops the sampler, waits for the final sample + flush, dumps
+// the flight recorder's exit bundle, and returns the flush error.
+// Idempotent: repeated calls (signal path racing the deferred drain)
+// return the first call's error without re-draining.
 func (o *obs) shutdown() error {
-	o.cancel()
-	return <-o.done
+	o.shutdownOnce.Do(func() {
+		o.cancel()
+		o.shutdownErr = <-o.done
+		// The exit bundle is cut after the drain so it carries the final
+		// sample; Dump no-ops when -flight is off.
+		if _, err := o.flight.Dump(o.cfg.Clock.Now(), flight.ReasonExit, nil); err != nil && o.shutdownErr == nil {
+			o.shutdownErr = err
+		}
+	})
+	return o.shutdownErr
+}
+
+// dumpOnSignal writes a signal-reason bundle — mprd's SIGQUIT handler,
+// the "open the black box without landing the plane" trigger. No-op
+// when -flight is off.
+func (o *obs) dumpOnSignal() {
+	if path, err := o.flight.Dump(o.cfg.Clock.Now(), flight.ReasonSignal, nil); err == nil && path != "" {
+		o.cfg.Logf("SIGQUIT: flight bundle written to %s", path)
+	}
 }
 
 // health is the /healthz snapshot.
@@ -184,12 +243,17 @@ func (o *obs) health() telemetry.Health {
 }
 
 // handler is the daemon's full HTTP surface: /metrics, /debug/market,
-// /debug/spans, /debug/series, /healthz, and /debug/pprof.
+// /debug/spans, /debug/series, /debug/flight, /debug/rt, /healthz, and
+// /debug/pprof. The flight endpoints are mounted even without -flight —
+// a nil recorder serves enabled=false and refuses dumps — so probes
+// never depend on configuration.
 func (o *obs) handler() http.Handler {
 	return telemetry.NewHandler(telemetry.HandlerConfig{
 		Registry: o.reg,
 		Tracer:   o.tracer,
 		Series:   tsdb.Handler(o.store),
+		Flight:   o.flight.Handler(),
+		RT:       o.flight.RTHandler(),
 		Health:   o.health,
 		Pprof:    true,
 	})
@@ -214,8 +278,16 @@ func (o *obs) recordMarket(targetW float64, r *core.ClearingResult) {
 		unmet = 0
 	}
 	o.store.Series(seriesMarketUnmet).Append(t, unmet)
-	for _, f := range alerts.EvalStore(o.rules, o.store, t, 0) {
+	firings := alerts.EvalStore(o.rules, o.store, t, 0)
+	for _, f := range firings {
 		o.alertsFired.With(f.Rule).Inc()
 		o.cfg.Logf("%s — %s", f, f.Help)
+	}
+	// Fresh firings (per-rule cooldown) trip the black box: one bundle
+	// carrying the trigger, the trace window, and the series history.
+	if path, err := o.flight.OnFirings(o.cfg.Clock.Now(), firings); err != nil {
+		o.cfg.Logf("flight dump: %v", err)
+	} else if path != "" {
+		o.cfg.Logf("alert flight bundle written to %s", path)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"mpr/internal/runner"
 	"mpr/internal/telemetry"
 	"mpr/internal/telemetry/alerts"
+	"mpr/internal/telemetry/flight"
 	"mpr/internal/telemetry/hdr"
 	"mpr/internal/telemetry/tsdb"
 )
@@ -191,6 +192,7 @@ type harness struct {
 	store  *tsdb.Store
 	rtt    *hdr.Histogram
 	rules  []alerts.Rule
+	flight *flight.Recorder
 
 	mgr    *agentproto.Manager // selfhost only
 	agents []*agentproto.Agent
@@ -203,7 +205,7 @@ type harness struct {
 	price   clearPriceSection
 
 	sloMu   sync.Mutex
-	seen    map[string]bool
+	dedup   *alerts.Deduper // window 0: every distinct violation reported once
 	firings []alerts.Firing
 	evals   int
 
@@ -221,9 +223,24 @@ func newHarness(cfg loadConfig) (*harness, error) {
 		tracer: telemetry.NewTracer(4096),
 		store:  tsdb.New(0),
 		rules:  alerts.LoadRules(),
-		seen:   map[string]bool{},
+		dedup:  alerts.NewDeduper(0),
 	}
 	h.rtt = h.reg.HDR(metricRoundTrip, "Agent-observed market round turnaround in seconds.")
+	// The harness always carries a flight recorder (no dump directory —
+	// bundles are written explicitly via DumpTo on SLO failure): its
+	// runtime sampler records the mpr_rt_* series during the run, which
+	// is exactly the 100k-goroutine stack-memory measurement the C1M
+	// roadmap item asks for.
+	rec, err := flight.New(flight.Config{
+		Registry: h.reg,
+		Tracer:   h.tracer,
+		Store:    h.store,
+		Logf:     cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.flight = rec
 	return h, nil
 }
 
@@ -359,6 +376,7 @@ func (h *harness) liveAgents() int {
 // live SLO scorecard over the run so far, deduplicating firings.
 func (h *harness) sample(now time.Time) {
 	t := now.Unix()
+	h.flight.SampleRuntime(now)
 	if snap := h.rtt.Snapshot(); snap.Count > 0 {
 		h.store.Series(seriesRTTP50).Append(t, snap.Quantile(0.50))
 		h.store.Series(seriesRTTP99).Append(t, snap.Quantile(0.99))
@@ -375,11 +393,12 @@ func (h *harness) sample(now time.Time) {
 	h.sloMu.Lock()
 	h.evals++
 	for _, f := range alerts.EvalStore(h.rules, h.store, h.startUnix, 0) {
-		key := fmt.Sprintf("%s|%s|%d", f.Rule, f.Series, f.From)
-		if h.seen[key] {
+		// Window-0 dedup: re-evaluating overlapping history re-returns
+		// the same (rule, series, From) firing; report each one once.
+		if !h.dedup.Fresh(f) {
 			continue
 		}
-		h.seen[key] = true
+		h.flight.RecordFiring(f)
 		h.firings = append(h.firings, f)
 		h.cfg.Logf("%s — %s", f, f.Help)
 	}

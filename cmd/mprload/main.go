@@ -7,10 +7,15 @@
 //
 // While markets clear, every agent records its observed round turnaround
 // into one shared HDR histogram; the harness samples p50/p99/p999 plus
-// the clearing price and fleet-attendance series into an in-memory tsdb,
-// evaluates the alerts.LoadRules SLO scorecard live over those series,
-// and finally emits a versioned mprload/report/v2 JSON artifact
-// (-report) with the latency digests and SLO verdicts.
+// the clearing price, fleet-attendance, and runtime-health (mpr_rt_*)
+// series into an in-memory tsdb, evaluates the alerts.LoadRules SLO
+// scorecard live over those series, and finally emits a versioned
+// mprload/report/v3 JSON artifact (-report) with the latency digests and
+// SLO verdicts. When the scorecard fails (exit 3), an mprflight/v1
+// black-box bundle — goroutine profile, trace window, series history,
+// the triggering firing — is parked next to the report (-flight) and
+// named in its flight_bundle field, so a failed soak carries its own
+// diagnosis.
 //
 // Examples:
 //
@@ -27,6 +32,7 @@ import (
 	"time"
 
 	"mpr/internal/telemetry"
+	"mpr/internal/telemetry/flight"
 	"mpr/internal/telemetry/tsdb"
 )
 
@@ -48,7 +54,8 @@ func main() {
 		rtimeout  = flag.Duration("rtimeout", 2*time.Second, "selfhost per-round bid timeout")
 		wire      = flag.String("wire", "json", "agent wire format: json (lines) or binary (length-prefixed frames)")
 		shards    = flag.Int("shards", 0, "selfhost manager connection shards (0 = default)")
-		report    = flag.String("report", "", "write the mprload/report/v2 JSON artifact here (- = stdout)")
+		report    = flag.String("report", "", "write the mprload/report/v3 JSON artifact here (- = stdout)")
+		flightOut = flag.String("flight", "", "write an mprflight/v1 bundle here when the SLO scorecard fails (empty = <report>.flight.json next to a file -report; 'none' disables)")
 		metrics   = flag.String("metrics", "", "serve /metrics, /debug/* on this address while running")
 		quiet     = flag.Bool("quiet", false, "suppress progress logging")
 	)
@@ -88,6 +95,8 @@ func main() {
 			Registry: h.reg,
 			Tracer:   h.tracer,
 			Series:   tsdb.Handler(h.store),
+			Flight:   h.flight.Handler(),
+			RT:       h.flight.RTHandler(),
 			Pprof:    true,
 		})
 		go func() {
@@ -115,6 +124,25 @@ func main() {
 	logf("done: %d markets (%d converged, %d errors), round-trip p99 %.4fs p999 %.4fs, SLO firings %d",
 		rep.Markets.Runs, rep.Markets.Converged, rep.Markets.Errors,
 		rep.RoundTripSeconds.P99, rep.RoundTripSeconds.P999, len(rep.SLO.Firings))
+
+	// On SLO failure, park the black box next to the report before the
+	// report is written, so the verdict names its evidence — the exit-3
+	// CI path becomes self-diagnosing.
+	if !rep.SLO.Passed {
+		path := *flightOut
+		if path == "" && *report != "" && *report != "-" {
+			path = *report + ".flight.json"
+		}
+		if path != "" && path != "none" {
+			trigger := &rep.SLO.Firings[0]
+			if err := h.flight.DumpTo(time.Now(), path, flight.ReasonSLO, trigger); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			} else {
+				rep.FlightBundle = path
+				logf("SLO failed: flight bundle written to %s", path)
+			}
+		}
+	}
 
 	if *report != "" {
 		if err := writeReport(rep, *report); err != nil {

@@ -474,6 +474,10 @@ func (m *Manager) noteBid(a *agentConn, msg Message) {
 		}
 	} else {
 		m.coalesced.Inc()
+		// Coalescing is an anomaly worth a flight-recorder breadcrumb:
+		// an agent re-bidding within one round means its first answer
+		// raced the deadline. Ring emission allocates nothing.
+		m.cfg.Tracer.Emit(telemetry.Event{Name: "coalesced_bid", Round: round, Label: a.hello.JobID})
 	}
 }
 
@@ -495,6 +499,10 @@ func (m *Manager) drop(a *agentConn, reason DisconnectReason, evict bool) {
 			m.evictWriteStall.Inc()
 		}
 		m.logf("agent %s evicted: %s", a.hello.JobID, reason)
+		// Evictions feed the shared tracer ring so a flight bundle
+		// triggered by an EvictionBurst alert carries the per-agent
+		// evidence (who, why) from the seconds before the dump.
+		m.cfg.Tracer.Emit(telemetry.Event{Name: "eviction", Label: a.hello.JobID + ":" + string(reason)})
 	}
 	a.conn.Close()
 	m.mu.Lock()

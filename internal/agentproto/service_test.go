@@ -307,10 +307,12 @@ func TestBinaryAgentTCP(t *testing.T) {
 // increments.
 func TestEvictionDeadlineBudget(t *testing.T) {
 	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(64)
 	m := pipeManager(t, ManagerConfig{
 		RoundTimeout:     150 * time.Millisecond,
 		EvictAfterMisses: 2,
 		Telemetry:        reg,
+		Tracer:           tracer,
 	})
 	dialFleet(t, m, fleetSpecs(3))
 
@@ -357,6 +359,20 @@ func TestEvictionDeadlineBudget(t *testing.T) {
 	}
 	if got := m.Evictions(); got != 1 {
 		t.Errorf("Evictions() = %d, want 1", got)
+	}
+	// The eviction left a flight-recorder breadcrumb in the tracer ring
+	// naming the agent and the typed reason.
+	foundEvent := false
+	for _, e := range tracer.Events() {
+		if e.Name == "eviction" {
+			foundEvent = true
+			if want := "stalled:" + string(ReasonDeadlineBudget); e.Label != want {
+				t.Errorf("eviction event label = %q, want %q", e.Label, want)
+			}
+		}
+	}
+	if !foundEvent {
+		t.Error("no eviction event reached the tracer ring")
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for m.AgentCount() != 3 && time.Now().Before(deadline) {

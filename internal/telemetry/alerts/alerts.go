@@ -7,6 +7,7 @@ package alerts
 
 import (
 	"fmt"
+	"strconv"
 
 	"mpr/internal/telemetry/tsdb"
 )
@@ -203,6 +204,81 @@ func (r Rule) evalBurn(sd tsdb.SeriesData) (Firing, bool) {
 	}, true
 }
 
+// Deduper suppresses repeated firings across successive evaluations of
+// the same store window. Re-evaluating overlapping history returns the
+// same firing again (same rule, series, and From), so consumers that
+// evaluate live — mprload's scorecard every sample tick, the flight
+// recorder's dump trigger after every market — need a stable notion of
+// "new firing". Two policies share this type:
+//
+//   - window == 0: only exact repeats are suppressed. A firing is fresh
+//     iff its (rule, series, From) triple has not been accepted before —
+//     mprload's scorecard semantics, where every distinct violation
+//     window is reported once.
+//   - window > 0: additionally, a firing whose From is within window of
+//     the last accepted firing for the same (rule, series) is suppressed
+//     — the flight recorder's per-rule dump cooldown, so an alert that
+//     keeps firing as its window advances produces one bundle per
+//     cooldown period instead of one per evaluation.
+//
+// The window is measured in the firings' own timestamp units (Unix
+// seconds for the daemons, virtual slots for the simulator). The zero
+// value is not usable; construct with NewDeduper. Not safe for
+// concurrent use — callers serialize evaluations anyway.
+type Deduper struct {
+	window   int64
+	seen     map[string]bool  // exact rule|series|From triples accepted
+	lastFrom map[string]int64 // rule|series → From of the last accepted firing
+}
+
+// NewDeduper builds a deduper with the given suppression window
+// (0 = exact-repeat suppression only; negative is treated as 0).
+func NewDeduper(window int64) *Deduper {
+	if window < 0 {
+		window = 0
+	}
+	return &Deduper{
+		window:   window,
+		seen:     make(map[string]bool),
+		lastFrom: make(map[string]int64),
+	}
+}
+
+// Fresh reports whether the firing is new under the deduper's policy,
+// recording it when it is. Exact repeats (same rule, series, From) are
+// never fresh; with a window, a firing within window of the last
+// accepted one for its rule+series is not fresh either.
+func (d *Deduper) Fresh(f Firing) bool {
+	key := f.Rule + "|" + f.Series
+	exact := key + "|" + strconv.FormatInt(f.From, 10)
+	if d.seen[exact] {
+		return false
+	}
+	if d.window > 0 {
+		if last, ok := d.lastFrom[key]; ok && f.From-last <= d.window {
+			return false
+		}
+	}
+	d.seen[exact] = true
+	d.lastFrom[key] = f.From
+	return true
+}
+
+// Dedup filters firings through a fresh Deduper with the given window:
+// the one-shot form for post-hoc evaluation over a full export, where
+// overlapping threshold runs of the same rule should collapse to one
+// firing per window. Order is preserved; the input is not modified.
+func Dedup(firings []Firing, window int64) []Firing {
+	d := NewDeduper(window)
+	out := make([]Firing, 0, len(firings))
+	for _, f := range firings {
+		if d.Fresh(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 func matchLabels(match, labels map[string]string) bool {
 	for k, v := range match {
 		if labels[k] != v {
@@ -269,6 +345,30 @@ func LoadRules() []Rule {
 			Name: "AgentAttrition", Series: "mpr_load_agents_connected_frac",
 			Op: LT, Threshold: 0.99, WindowSamples: 20, BurnFrac: 0.25,
 			Help: "more than 1% of the fleet disconnected in a quarter of the trailing window — agents are dying under load",
+		},
+	}
+}
+
+// RuntimeRules are the process-health rules over the flight recorder's
+// mpr_rt_* runtime series (see internal/telemetry/flight). mprd appends
+// them to its live scorecard when the recorder is enabled; without the
+// runtime sampler the series never exist and the rules are inert.
+func RuntimeRules() []Rule {
+	return []Rule{
+		{
+			Name: "GoroutineGrowth", Series: "mpr_rt_goroutines",
+			Op: GT, Threshold: 100000, WindowSamples: 10, BurnFrac: 0.5,
+			Help: "goroutine population sustained above 100k — at one reader per connection that is ~800 MB of stacks at C1M, the scaling cliff the roadmap flags",
+		},
+		{
+			Name: "HeapHigh", Series: "mpr_rt_heap_inuse_bytes",
+			Op: GT, Threshold: 4 << 30, ForSamples: 3,
+			Help: "heap in-use above 4 GiB for consecutive samples — the market state no longer fits the container budget",
+		},
+		{
+			Name: "GCPauseP99", Series: "mpr_rt_gc_pause_p99_seconds",
+			Op: GT, Threshold: 0.05, ForSamples: 2,
+			Help: "p99 GC pause above 50 ms — stop-the-world time is eating into the round deadline budget",
 		},
 	}
 }

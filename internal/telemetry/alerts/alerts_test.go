@@ -192,3 +192,122 @@ func TestEvictionBurstRule(t *testing.T) {
 		t.Errorf("firing = %+v, want worst 3 over 4 samples", firings[0])
 	}
 }
+
+// firing is a test shorthand.
+func firingAt(rule, series string, from int64) Firing {
+	return Firing{Rule: rule, Series: series, From: from, To: from + 1, Value: 1, Samples: 1}
+}
+
+// TestDeduperExactRepeats pins the window-0 policy mprload's live
+// scorecard uses: re-evaluating an overlapping window returns the same
+// firing (same rule/series/From) and it must be suppressed, while a new
+// violation window — or the same window on a different rule or series —
+// is fresh.
+func TestDeduperExactRepeats(t *testing.T) {
+	d := NewDeduper(0)
+	f1 := firingAt("Rule", "s", 10)
+	if !d.Fresh(f1) {
+		t.Fatal("first firing not fresh")
+	}
+	if d.Fresh(f1) {
+		t.Fatal("exact repeat accepted")
+	}
+	// Same window, extended To (a threshold run that kept growing): the
+	// From identifies it, so it stays suppressed.
+	extended := f1
+	extended.To, extended.Samples = 20, 5
+	if d.Fresh(extended) {
+		t.Fatal("extended repeat accepted")
+	}
+	if !d.Fresh(firingAt("Rule", "s", 50)) {
+		t.Fatal("new violation window suppressed")
+	}
+	if !d.Fresh(firingAt("Other", "s", 10)) || !d.Fresh(firingAt("Rule", "s2", 10)) {
+		t.Fatal("distinct rule/series suppressed")
+	}
+	// Interleaved re-evaluations must not resurrect old firings.
+	if d.Fresh(f1) {
+		t.Fatal("old firing resurrected after later accepts")
+	}
+}
+
+// TestDeduperCooldownWindow pins the window>0 policy the flight recorder
+// uses as its per-rule dump cooldown: a rule that keeps firing with an
+// advancing From produces one fresh firing per window.
+func TestDeduperCooldownWindow(t *testing.T) {
+	d := NewDeduper(60)
+	if !d.Fresh(firingAt("Burst", "e", 100)) {
+		t.Fatal("first firing not fresh")
+	}
+	for from := int64(101); from <= 160; from += 7 {
+		if d.Fresh(firingAt("Burst", "e", from)) {
+			t.Fatalf("firing at %d inside the 60s cooldown accepted", from)
+		}
+	}
+	if !d.Fresh(firingAt("Burst", "e", 161)) {
+		t.Fatal("firing past the cooldown suppressed")
+	}
+	// The cooldown is per rule+series: another rule dumps independently.
+	if !d.Fresh(firingAt("Heap", "h", 120)) {
+		t.Fatal("independent rule suppressed by another rule's cooldown")
+	}
+	// Stale re-evaluations of pre-cooldown history stay suppressed.
+	if d.Fresh(firingAt("Burst", "e", 100)) || d.Fresh(firingAt("Burst", "e", 130)) {
+		t.Fatal("stale firing accepted after cooldown advanced")
+	}
+}
+
+// TestDedupOneShot covers the slice convenience form.
+func TestDedupOneShot(t *testing.T) {
+	in := []Firing{
+		firingAt("R", "s", 0),
+		firingAt("R", "s", 0),  // exact repeat
+		firingAt("R", "s", 30), // within window of 0
+		firingAt("R", "s", 90), // past window
+		firingAt("Q", "s", 10), // other rule
+	}
+	out := Dedup(in, 60)
+	if len(out) != 3 {
+		t.Fatalf("Dedup kept %d firings, want 3: %+v", len(out), out)
+	}
+	if out[0].From != 0 || out[1].From != 90 || out[2].Rule != "Q" {
+		t.Fatalf("Dedup kept wrong firings: %+v", out)
+	}
+	if got := Dedup(in, 0); len(got) != 4 {
+		t.Fatalf("window-0 Dedup kept %d, want 4", len(got))
+	}
+}
+
+// TestRuntimeRulesFire sanity-checks the runtime-health rules over
+// synthetic mpr_rt_* series shaped like a goroutine leak, a heap blowout,
+// and a GC pause regression.
+func TestRuntimeRulesFire(t *testing.T) {
+	rules := RuntimeRules()
+	healthy := []tsdb.SeriesData{
+		rawSeries("mpr_rt_goroutines", nil, []float64{90, 120, 250, 300}),
+		rawSeries("mpr_rt_heap_inuse_bytes", nil, []float64{1 << 20, 2 << 20}),
+		rawSeries("mpr_rt_gc_pause_p99_seconds", nil, []float64{0.001, 0.002}),
+	}
+	if f := Eval(rules, healthy); len(f) != 0 {
+		t.Fatalf("healthy runtime fired: %+v", f)
+	}
+	leak := make([]float64, 12)
+	for i := range leak {
+		leak[i] = 150000
+	}
+	sick := []tsdb.SeriesData{
+		rawSeries("mpr_rt_goroutines", nil, leak),
+		rawSeries("mpr_rt_heap_inuse_bytes", nil, []float64{5e9, 5e9, 5e9}),
+		rawSeries("mpr_rt_gc_pause_p99_seconds", nil, []float64{0.2, 0.3}),
+	}
+	f := Eval(rules, sick)
+	fired := map[string]bool{}
+	for _, x := range f {
+		fired[x.Rule] = true
+	}
+	for _, want := range []string{"GoroutineGrowth", "HeapHigh", "GCPauseP99"} {
+		if !fired[want] {
+			t.Errorf("%s did not fire: %+v", want, f)
+		}
+	}
+}

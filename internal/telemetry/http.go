@@ -40,6 +40,13 @@ type HandlerConfig struct {
 	Series http.Handler
 	// Health, when set, backs /healthz.
 	Health func() Health
+	// Flight, when set, is mounted at /debug/flight and
+	// /debug/flight/dump — the flight recorder's status/dump surface
+	// (plain http.Handler for the same layering reason as Series).
+	Flight http.Handler
+	// RT, when set, is mounted at /debug/rt — the latest runtime-health
+	// snapshot from the flight recorder's sampler.
+	RT http.Handler
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
 }
@@ -51,6 +58,8 @@ type HandlerConfig struct {
 //	/debug/spans    completed hierarchical spans, JSON
 //	/debug/build    binary build identity (module version, VCS revision, GOOS/GOARCH)
 //	/debug/series   windowed time-series queries (when Series is wired)
+//	/debug/flight   flight-recorder status; POST …/dump writes a bundle (when Flight is wired)
+//	/debug/rt       latest runtime-health snapshot (when RT is wired)
 //	/healthz        uptime / agents / sample freshness (when Health is wired)
 //	/debug/pprof/*  net/http/pprof (when Pprof is set)
 //
@@ -99,6 +108,13 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 	if cfg.Series != nil {
 		mux.Handle("/debug/series", cfg.Series)
 	}
+	if cfg.Flight != nil {
+		mux.Handle("/debug/flight", cfg.Flight)
+		mux.Handle("/debug/flight/dump", cfg.Flight)
+	}
+	if cfg.RT != nil {
+		mux.Handle("/debug/rt", cfg.RT)
+	}
 	if cfg.Health != nil {
 		health := cfg.Health
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -121,6 +137,12 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 		links := []string{"/metrics", "/debug/market", "/debug/spans", "/debug/build"}
 		if cfg.Series != nil {
 			links = append(links, "/debug/series")
+		}
+		if cfg.Flight != nil {
+			links = append(links, "/debug/flight")
+		}
+		if cfg.RT != nil {
+			links = append(links, "/debug/rt")
 		}
 		if cfg.Health != nil {
 			links = append(links, "/healthz")

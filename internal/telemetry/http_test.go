@@ -198,6 +198,45 @@ func TestHandlerHealthzAndSeriesMounts(t *testing.T) {
 	}
 }
 
+func TestHandlerFlightAndRTMounts(t *testing.T) {
+	flight := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.HasSuffix(req.URL.Path, "/dump") {
+			w.Write([]byte(`{"path":"flight-000001-manual.json"}`))
+			return
+		}
+		w.Write([]byte(`{"enabled":true}`))
+	})
+	rt := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"goroutines":7}`))
+	})
+	h := NewHandler(HandlerConfig{Flight: flight, RT: rt})
+	if res, body := serveGet(t, h, "/debug/flight"); res.StatusCode != http.StatusOK ||
+		!strings.Contains(body, `"enabled"`) {
+		t.Fatalf("/debug/flight = %d %q", res.StatusCode, body)
+	}
+	// The dump sub-path routes to the same handler (which distinguishes
+	// by suffix), not the index 404.
+	if res, body := serveGet(t, h, "/debug/flight/dump"); res.StatusCode != http.StatusOK ||
+		!strings.Contains(body, "flight-000001") {
+		t.Fatalf("/debug/flight/dump = %d %q", res.StatusCode, body)
+	}
+	if res, body := serveGet(t, h, "/debug/rt"); res.StatusCode != http.StatusOK ||
+		!strings.Contains(body, `"goroutines"`) {
+		t.Fatalf("/debug/rt = %d %q", res.StatusCode, body)
+	}
+	if _, body := serveGet(t, h, "/"); !strings.Contains(body, "/debug/flight") ||
+		!strings.Contains(body, "/debug/rt") {
+		t.Fatal("index must link /debug/flight and /debug/rt when mounted")
+	}
+	bare := Handler(nil, nil)
+	if res, _ := serveGet(t, bare, "/debug/flight"); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("bare /debug/flight status = %d", res.StatusCode)
+	}
+	if res, _ := serveGet(t, bare, "/debug/rt"); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("bare /debug/rt status = %d", res.StatusCode)
+	}
+}
+
 func TestHandlerIndexContentType(t *testing.T) {
 	res, _ := serveGet(t, Handler(nil, nil), "/")
 	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {

@@ -3,7 +3,9 @@ package telemetry
 import (
 	"bufio"
 	"encoding/json"
+	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -123,5 +125,87 @@ func TestTracerJSONLSink(t *testing.T) {
 	}
 	if tr.Len() != 3 {
 		t.Fatalf("ring len = %d, want 3", tr.Len())
+	}
+}
+
+// TestTracerConcurrentDropAccounting hammers one ring from many writers
+// and pins the overflow invariant the /debug/market dropped_events field
+// reports on: every emitted event is either still retained in the window
+// or counted as dropped — exactly once, even when wraparound and the
+// sequence counter are contended. Run under -race this also covers the
+// ring's locking discipline.
+func TestTracerConcurrentDropAccounting(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 5000
+	)
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.Emit(Event{Name: "burst", Round: w, Value: float64(i)})
+			}
+		}(w)
+	}
+	// Concurrent readers must never observe retained+dropped exceeding
+	// what has been emitted (sequence numbers are assigned under the same
+	// lock, so Len+Dropped trails seq monotonically).
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if got := uint64(tr.Len()) + tr.Dropped(); got > writers*perWriter {
+				t.Errorf("retained+dropped = %d mid-run, exceeds %d emitted", got, writers*perWriter)
+				return
+			}
+			tr.Last(8)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	const total = writers * perWriter
+	if got := uint64(tr.Len()) + tr.Dropped(); got != total {
+		t.Fatalf("retained(%d) + dropped(%d) = %d, want %d emitted", tr.Len(), tr.Dropped(), got, total)
+	}
+	if tr.Len() != 64 {
+		t.Fatalf("ring len = %d, want full capacity 64", tr.Len())
+	}
+	// The surviving window is the final slice of the sequence space, in
+	// order and gap-free.
+	evs := tr.Events()
+	for i, e := range evs {
+		if want := uint64(total - 64 + i + 1); e.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+
+	// /debug/market?format=json reports the same counter.
+	h := NewHandler(HandlerConfig{Tracer: tr})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/market?format=json", nil))
+	var body struct {
+		DroppedEvents uint64  `json:"dropped_events"`
+		Events        []Event `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad /debug/market JSON: %v", err)
+	}
+	if body.DroppedEvents != tr.Dropped() || body.DroppedEvents != total-64 {
+		t.Fatalf("dropped_events = %d, want %d", body.DroppedEvents, total-64)
+	}
+	if len(body.Events) == 0 {
+		t.Fatal("debug/market returned no events")
 	}
 }
